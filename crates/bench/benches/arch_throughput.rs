@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the discrete-event architecture simulator — one
+//! per compared architecture, plus the contention and validation paths that
+//! feed the figures.
+
+use archsim::{Architecture, Locality, Simulation, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn spec(locality: Locality) -> WorkloadSpec {
+    WorkloadSpec {
+        conversations: 3,
+        server_compute_us: 1_140.0,
+        locality,
+        horizon_us: 500_000.0,
+        warmup_us: 50_000.0,
+        seed: 5,
+    }
+}
+
+fn bench_architectures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des/local");
+    group.sample_size(20);
+    for arch in Architecture::ALL {
+        group.bench_function(format!("arch{}", arch.label()), |b| {
+            b.iter(|| Simulation::new(arch, &spec(Locality::Local)).run().completed)
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("des/nonlocal");
+    group.sample_size(20);
+    for arch in [Architecture::Uniprocessor, Architecture::SmartBus] {
+        group.bench_function(format!("arch{}", arch.label()), |b| {
+            b.iter(|| Simulation::new(arch, &spec(Locality::NonLocal)).run().completed)
+        });
+    }
+    group.finish();
+}
+
+fn bench_contention_model(c: &mut Criterion) {
+    c.bench_function("models/contention_table6.2", |b| {
+        b.iter(|| {
+            models::contention::completion_times(models::contention::TABLE_6_2)
+                .expect("mix solves")
+        })
+    });
+}
+
+criterion_group!(benches, bench_architectures, bench_contention_model);
+criterion_main!(benches);

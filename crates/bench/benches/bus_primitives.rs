@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the smart bus / smart memory primitives —
+//! the operations behind Table 6.1. These measure *simulator* throughput;
+//! the simulated bus-time equivalences (1 µs queue ops, 11 µs 40-byte
+//! blocks) are asserted in the test suites.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use smartbus::{BlockDirection, BusEngine, RequestNumber, Transaction, UnitId};
+use smartmem::SmartMemory;
+
+fn engine() -> (BusEngine<SmartMemory>, UnitId) {
+    let mut bus = BusEngine::new(SmartMemory::new(64 * 1024), RequestNumber::new(7));
+    let mp = bus.add_unit("mp", RequestNumber::new(2)).expect("fresh engine");
+    (bus, mp)
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6.1/queue");
+    group.bench_function("enqueue_first_cycle", |b| {
+        b.iter_batched(
+            engine,
+            |(mut bus, mp)| {
+                for i in 0..32u16 {
+                    bus.submit(mp, Transaction::Enqueue { list: 0x10, element: 0x100 + i * 2 })
+                        .expect("idle");
+                    bus.run_until_idle().expect("runs");
+                }
+                for _ in 0..32 {
+                    bus.submit(mp, Transaction::First { list: 0x10 }).expect("idle");
+                    bus.run_until_idle().expect("runs");
+                }
+                bus.time_ns()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("dequeue_middle_of_64", |b| {
+        b.iter_batched(
+            || {
+                let (mut bus, mp) = engine();
+                for i in 0..64u16 {
+                    bus.submit(mp, Transaction::Enqueue { list: 0x10, element: 0x100 + i * 2 })
+                        .expect("idle");
+                    bus.run_until_idle().expect("runs");
+                }
+                (bus, mp)
+            },
+            |(mut bus, mp)| {
+                bus.submit(mp, Transaction::Dequeue { list: 0x10, element: 0x100 + 32 * 2 })
+                    .expect("idle");
+                bus.run_until_idle().expect("runs");
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_block_transfers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6.1/block");
+    for &bytes in &[40u16, 256, 1024] {
+        group.bench_function(format!("write_{bytes}B"), |b| {
+            let data: Vec<u16> = (0..bytes / 2).collect();
+            b.iter_batched(
+                engine,
+                |(mut bus, mp)| {
+                    bus.submit(
+                        mp,
+                        Transaction::BlockTransfer {
+                            addr: 0,
+                            count: bytes,
+                            direction: BlockDirection::Write,
+                            data: data.clone(),
+                        },
+                    )
+                    .expect("idle");
+                    bus.run_until_idle().expect("runs");
+                    bus.time_ns()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_ops, bench_block_transfers);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the GTPN engine: reachability construction and
+//! steady-state solution of the chapter-6 architecture models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use models::{local, Architecture};
+
+fn bench_local_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gtpn/local");
+    group.sample_size(20);
+    for &(arch, label) in &[
+        (Architecture::Uniprocessor, "archI"),
+        (Architecture::MessageCoprocessor, "archII"),
+        (Architecture::SmartBus, "archIII"),
+    ] {
+        for &n in &[1u32, 3] {
+            group.bench_function(format!("{label}_{n}conv"), |b| {
+                b.iter(|| local::solve(arch, n, 1_140.0).expect("model solves"))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gtpn/reachability");
+    group.sample_size(20);
+    group.bench_function("archII_local_4conv_graph", |b| {
+        let net = local::build(Architecture::MessageCoprocessor, 4, 0.0).expect("builds");
+        b.iter(|| net.reachability(2_000_000).expect("fits budget").state_count())
+    });
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gtpn/monte-carlo");
+    group.sample_size(10);
+    group.bench_function("archII_local_2conv_sim_1s", |b| {
+        use gtpn::sim::{simulate, SimOptions};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let net = local::build(Architecture::MessageCoprocessor, 2, 0.0).expect("builds");
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            simulate(&net, &SimOptions { horizon: 1_000_000, warmup: 100_000 }, &mut rng)
+                .expect("simulates")
+                .measured_time
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_local_models, bench_reachability, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Criterion benchmarks of the message kernel: local rendezvous and
+//! cross-node round trips (functional cost of the kernel data-structure
+//! manipulation, independent of the simulated-time model).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use msgkernel::{Kernel, KernelEvent, Message, NodeId, SendMode, ServiceAddr, Syscall};
+
+fn drain(k: &mut Kernel) -> Vec<KernelEvent> {
+    let mut events = Vec::new();
+    while let Some(t) = k.next_communication() {
+        events.extend(k.process(t).expect("valid request"));
+    }
+    events
+}
+
+fn local_pair() -> (Kernel, msgkernel::TaskId, msgkernel::TaskId, ServiceAddr) {
+    let mut k = Kernel::new(NodeId(0), 16);
+    let client = k.create_task("client", 1, 64);
+    let server = k.create_task("server", 1, 64);
+    let svc = k.create_service("bench");
+    let addr = ServiceAddr { node: k.node(), service: svc };
+    k.submit(server, Syscall::Offer { service: svc }).expect("fresh");
+    drain(&mut k);
+    (k, client, server, addr)
+}
+
+fn bench_local_round_trip(c: &mut Criterion) {
+    c.bench_function("kernel/local_round_trip", |b| {
+        b.iter_batched(
+            local_pair,
+            |(mut k, client, server, addr)| {
+                for _ in 0..100 {
+                    k.submit(server, Syscall::Receive).expect("idle");
+                    drain(&mut k);
+                    k.submit(
+                        client,
+                        Syscall::Send { to: addr, message: Message::empty(), mode: SendMode::invocation() },
+                    )
+                    .expect("idle");
+                    drain(&mut k);
+                    k.submit(server, Syscall::Reply { message: Message::empty() }).expect("idle");
+                    drain(&mut k);
+                }
+                k.stats().replies
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cross_node_round_trip(c: &mut Criterion) {
+    c.bench_function("kernel/cross_node_round_trip", |b| {
+        b.iter_batched(
+            || {
+                let mut a = Kernel::new(NodeId(0), 16);
+                let mut bk = Kernel::new(NodeId(1), 16);
+                let client = a.create_task("client", 1, 64);
+                let server = bk.create_task("server", 1, 64);
+                let svc = bk.create_service("bench");
+                bk.submit(server, Syscall::Offer { service: svc }).expect("fresh");
+                drain(&mut bk);
+                (a, bk, client, server, svc)
+            },
+            |(mut a, mut bk, client, server, svc)| {
+                for _ in 0..50 {
+                    bk.submit(server, Syscall::Receive).expect("idle");
+                    drain(&mut bk);
+                    a.submit(
+                        client,
+                        Syscall::Send {
+                            to: ServiceAddr { node: NodeId(1), service: svc },
+                            message: Message::empty(),
+                            mode: SendMode::invocation(),
+                        },
+                    )
+                    .expect("idle");
+                    let events = drain(&mut a);
+                    let packet = events
+                        .into_iter()
+                        .find_map(|e| match e {
+                            KernelEvent::PacketOut(p) => Some(p),
+                            _ => None,
+                        })
+                        .expect("send packet");
+                    bk.handle_packet(packet).expect("routable");
+                    bk.submit(server, Syscall::Reply { message: Message::empty() }).expect("idle");
+                    let events = drain(&mut bk);
+                    let packet = events
+                        .into_iter()
+                        .find_map(|e| match e {
+                            KernelEvent::PacketOut(p) => Some(p),
+                            _ => None,
+                        })
+                        .expect("reply packet");
+                    a.handle_packet(packet).expect("routable");
+                }
+                a.stats().packets_in
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_local_round_trip, bench_cross_node_round_trip);
+criterion_main!(benches);

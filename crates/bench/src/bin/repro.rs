@@ -1,0 +1,41 @@
+//! Regenerates the paper's tables and figures. See `bench` crate docs.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: repro [list | all | <experiment-id>...]");
+        eprintln!("experiment ids: table3.1..table3.7, table5.1, table5.2,");
+        eprintln!("  table6.1, table6.2, table6.4..table6.25, fig6.7..fig6.23");
+        return ExitCode::from(2);
+    }
+    if args[0] == "list" {
+        for e in hsipc::experiments::all() {
+            println!("{:<10} {}", e.id, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<String> = if args[0] == "all" {
+        hsipc::experiments::all().iter().map(|e| e.id.to_string()).collect()
+    } else {
+        args
+    };
+    let mut failed = false;
+    for id in ids {
+        match hsipc::experiments::run(&id) {
+            Some(output) => {
+                println!("{output}");
+            }
+            None => {
+                eprintln!("unknown experiment `{id}` (try `repro list`)");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,15 @@
+//! # bench — benchmark harness and table/figure regeneration
+//!
+//! * `cargo run -p bench --release --bin repro -- list` — enumerate
+//!   experiments.
+//! * `cargo run -p bench --release --bin repro -- table6.1 fig6.17` —
+//!   regenerate specific tables/figures.
+//! * `cargo run -p bench --release --bin repro -- all` — regenerate
+//!   everything (the non-local figure sweeps take a few minutes).
+//! * `cargo bench -p bench` — Criterion micro-benchmarks of the bus
+//!   primitives, the GTPN solver, the kernel round trip and the
+//!   architecture simulations.
+
+#![forbid(unsafe_code)]
+
+pub use hsipc::experiments;

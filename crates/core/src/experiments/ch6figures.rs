@@ -1,0 +1,222 @@
+//! Chapter 6 figures: throughput series from the GTPN models and the
+//! discrete-event "experiment".
+
+use super::render_table;
+use archsim::timings::{Architecture, Locality};
+use models::{local, nonlocal, offered, validation};
+
+/// Conversation counts the paper plots (1–4; its tools could not go
+/// further, §6.9.2).
+const CONVERSATIONS: [u32; 4] = [1, 2, 3, 4];
+
+/// Offered-load sweep (architecture-I axis) used by the realistic-workload
+/// figures.
+const LOAD_SWEEP: [f64; 7] = [0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4];
+
+/// Figure 6.7 — the geometric approximation of a large constant delay
+/// preserves mean throughput.
+pub fn fig_6_7() -> String {
+    use gtpn::{Net, Transition};
+    let delay = 500u64;
+    // Constant-delay net: a token cycles through one delay-500 transition.
+    let mut constant = Net::new("constant");
+    let p = constant.add_place("P", 1);
+    constant
+        .add_transition(
+            Transition::new("T").delay(delay).resource("lambda").input(p, 1).output(p, 1),
+        )
+        .expect("place exists");
+    let exact = constant
+        .reachability(100)
+        .and_then(|g| g.solve(1e-12, 100_000))
+        .map(|s| s.resource_rate("lambda").expect("resource defined"))
+        .expect("constant net solves");
+
+    // Geometric net with the same mean.
+    let mut geo = Net::new("geometric");
+    let p = geo.add_place("P", 1);
+    gtpn::geometric::GeometricStage::new("T", delay as f64)
+        .input(p, 1)
+        .output(p, 1)
+        .resource("lambda")
+        .build(&mut geo)
+        .expect("place exists");
+    let approx = geo
+        .reachability(100)
+        .and_then(|g| g.solve(1e-12, 100_000))
+        .map(|s| s.resource_rate("lambda").expect("resource defined"))
+        .expect("geometric net solves");
+
+    format!(
+        "Figure 6.7 — Modeling Large Constant Delays\n\
+         constant delay {delay}: throughput {exact:.6}/us\n\
+         geometric mean {delay}: throughput {approx:.6}/us\n\
+         relative difference {:.2e}\n",
+        (exact - approx).abs() / exact
+    )
+}
+
+/// Figure 6.15 — validation: GTPN model vs the discrete-event experiment,
+/// architecture II non-local, 1–4 conversations at three compute levels.
+pub fn fig_6_15() -> String {
+    let mut rows = Vec::new();
+    for &n in &CONVERSATIONS {
+        for (i, server_us) in [570.0, 2_850.0, 11_400.0].into_iter().enumerate() {
+            let p = validation::compare(n, server_us, 40 + n as u64 + i as u64)
+                .expect("validation point solves");
+            rows.push(vec![
+                n.to_string(),
+                format!("{:.2}", server_us / 1_000.0),
+                format!("{:.4}", p.model_per_ms),
+                format!("{:.4}", p.measured_per_ms),
+                format!("{:+.1}%", 100.0 * (p.model_per_ms - p.measured_per_ms) / p.measured_per_ms),
+            ]);
+        }
+    }
+    render_table(
+        "Figure 6.15 — Model Validation (Architecture II, non-local)",
+        &["Conv", "Server (ms)", "Model (/ms)", "Measured (/ms)", "Δ"],
+        &rows,
+    )
+}
+
+fn max_load(archs: &[Architecture], locality: Locality, title: &str) -> String {
+    let mut rows = Vec::new();
+    for &n in &CONVERSATIONS {
+        let mut cells = vec![n.to_string()];
+        for &arch in archs {
+            let t = match locality {
+                Locality::Local => local::solve(arch, n, 0.0).expect("local model solves").throughput_per_ms,
+                Locality::NonLocal => {
+                    nonlocal::solve(arch, n, 0.0).expect("non-local model solves").throughput_per_ms
+                }
+            };
+            cells.push(format!("{t:.4}"));
+        }
+        rows.push(cells);
+    }
+    let mut header: Vec<&str> = vec!["Conversations"];
+    let labels: Vec<String> =
+        archs.iter().map(|a| format!("Arch {} (/ms)", a.label())).collect();
+    header.extend(labels.iter().map(String::as_str));
+    render_table(title, &header, &rows)
+}
+
+fn realistic(archs: &[Architecture], locality: Locality, title: &str) -> String {
+    let mut rows = Vec::new();
+    for &load in &LOAD_SWEEP {
+        let server_us = offered::server_time_for_load_arch1(locality, load);
+        for &n in &[1u32, 4] {
+            let mut cells = vec![format!("{load:.2}"), n.to_string()];
+            for &arch in archs {
+                let t = match locality {
+                    Locality::Local => {
+                        local::solve(arch, n, server_us).expect("local model solves").throughput_per_ms
+                    }
+                    Locality::NonLocal => nonlocal::solve(arch, n, server_us)
+                        .expect("non-local model solves")
+                        .throughput_per_ms,
+                };
+                cells.push(format!("{t:.4}"));
+            }
+            rows.push(cells);
+        }
+    }
+    let mut header: Vec<&str> = vec!["Load(I)", "Conv"];
+    let labels: Vec<String> =
+        archs.iter().map(|a| format!("Arch {} (/ms)", a.label())).collect();
+    header.extend(labels.iter().map(String::as_str));
+    render_table(title, &header, &rows)
+}
+
+const MAIN_THREE: [Architecture; 3] = [
+    Architecture::Uniprocessor,
+    Architecture::MessageCoprocessor,
+    Architecture::SmartBus,
+];
+const THREE_FOUR: [Architecture; 2] =
+    [Architecture::SmartBus, Architecture::PartitionedSmartBus];
+
+/// Figure 6.17(a, b) — maximum communication load.
+pub fn fig_6_17() -> String {
+    let mut out = max_load(
+        &MAIN_THREE,
+        Locality::Local,
+        "Figure 6.17(a) — Maximum Communication Load (Local)",
+    );
+    out.push('\n');
+    out.push_str(&max_load(
+        &MAIN_THREE,
+        Locality::NonLocal,
+        "Figure 6.17(b) — Maximum Communication Load (Non-local)",
+    ));
+    out
+}
+
+/// Figure 6.18 — realistic workload, local.
+pub fn fig_6_18() -> String {
+    realistic(&MAIN_THREE, Locality::Local, "Figure 6.18 — Realistic Workload (Local)")
+}
+
+/// Figure 6.19 — realistic workload, non-local.
+pub fn fig_6_19() -> String {
+    realistic(&MAIN_THREE, Locality::NonLocal, "Figure 6.19 — Realistic Workload (Non-local)")
+}
+
+/// Figure 6.20 — maximum load, III vs IV, local.
+pub fn fig_6_20() -> String {
+    max_load(&THREE_FOUR, Locality::Local, "Figure 6.20 — Max Load (III & IV, Local)")
+}
+
+/// Figure 6.21 — maximum load, III vs IV, non-local.
+pub fn fig_6_21() -> String {
+    max_load(&THREE_FOUR, Locality::NonLocal, "Figure 6.21 — Max Load (III & IV, Non-local)")
+}
+
+/// Figure 6.22 — realistic load, III vs IV, local.
+pub fn fig_6_22() -> String {
+    realistic(&THREE_FOUR, Locality::Local, "Figure 6.22 — Realistic Load (III & IV, Local)")
+}
+
+/// Figure 6.23 — realistic load, III vs IV, non-local.
+pub fn fig_6_23() -> String {
+    realistic(&THREE_FOUR, Locality::NonLocal, "Figure 6.23 — Realistic Load (III & IV, Non-local)")
+}
+
+/// Chapter 7 extension — a shared-memory multiprocessor node: one message
+/// coprocessor serving 1–3 hosts (Figure 7.1's proposal), at a
+/// computation-heavy load where extra hosts matter.
+pub fn fig_7_1() -> String {
+    let x = 5_700.0;
+    let mut rows = Vec::new();
+    for hosts in 1..=3u32 {
+        let mut cells = vec![hosts.to_string()];
+        for &n in &[2u32, 4] {
+            let t = local::solve_with_hosts(Architecture::MessageCoprocessor, n, x, hosts)
+                .expect("multi-host model solves");
+            cells.push(format!("{:.4}", t.throughput_per_ms));
+        }
+        rows.push(cells);
+    }
+    render_table(
+        "Chapter 7 extension — One MP serving multiple hosts (Arch II, local, S=5.7ms)",
+        &["Hosts", "2 conv (/ms)", "4 conv (/ms)"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn geometric_approximation_exact_in_mean() {
+        let t = super::fig_6_7();
+        assert!(t.contains("relative difference"), "{t}");
+    }
+
+    #[test]
+    fn max_load_local_orders_architectures() {
+        let t = super::fig_6_17();
+        assert!(t.contains("Maximum Communication Load (Local)"));
+        assert!(t.contains("Non-local"));
+    }
+}

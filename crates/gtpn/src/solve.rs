@@ -1,0 +1,393 @@
+//! Steady-state solution of the embedded Markov chain.
+//!
+//! The reachability graph is a finite discrete-time Markov chain whose state
+//! `i` holds for a deterministic sojourn `h_i`. We solve `π P = π` with a
+//! Gauss–Seidel sweep (self-loops are eliminated analytically, which matters
+//! because the paper's geometric-delay stages produce states with large
+//! self-loop probabilities), then time-weight:
+//!
+//! ```text
+//! π_time(i) = π(i) · h_i / Σ_j π(j) · h_j
+//! ```
+//!
+//! The **resource usage** of resource `r` is the time-weighted expected
+//! number of in-progress firings of transitions labelled `r` — exactly the
+//! output measure of the UW–Madison GTPN analyzer that the paper reads
+//! throughput (`Λ`) from. A transition with delay `d` firing at rate `λ` has
+//! usage `λ·d`, so the *rate* reported by [`Solution::resource_rate`] is
+//! `usage / d`.
+
+use crate::error::GtpnError;
+use crate::net::TransId;
+use crate::reach::ReachabilityGraph;
+use std::collections::HashMap;
+
+/// Steady-state solution of a [`ReachabilityGraph`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Time-weighted steady-state probability of each tangible state.
+    pi_time: Vec<f64>,
+    /// Embedded-chain stationary distribution.
+    pi: Vec<f64>,
+    /// Mean sojourn time `Σ π h`.
+    mean_sojourn: f64,
+    /// Usage per transition (time-weighted mean number in progress).
+    transition_usage: Vec<f64>,
+    /// Resource label -> usage.
+    resource_usage_map: HashMap<String, f64>,
+    /// Resource label -> minimum delay among its transitions (for rates).
+    resource_delay: HashMap<String, u64>,
+    transition_delays: Vec<u64>,
+    transition_names: Vec<String>,
+    iterations: usize,
+    residual: f64,
+}
+
+impl Solution {
+    pub(crate) fn solve(
+        graph: &ReachabilityGraph,
+        tolerance: f64,
+        max_sweeps: usize,
+    ) -> Result<Solution, GtpnError> {
+        let n = graph.states.len();
+        assert!(n > 0, "empty reachability graph");
+
+        // Incoming edge lists with self-loop separation.
+        let mut incoming: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        let mut self_loop = vec![0.0f64; n];
+        for (i, outs) in graph.edges.iter().enumerate() {
+            for &(j, p) in outs {
+                if i == j {
+                    self_loop[i] += p;
+                } else {
+                    incoming[j].push((i, p));
+                }
+            }
+        }
+
+        let mut pi = vec![1.0 / n as f64; n];
+        let mut iterations = 0;
+        let mut residual = f64::INFINITY;
+        while iterations < max_sweeps {
+            iterations += 1;
+            let mut max_delta = 0.0f64;
+            // Symmetric Gauss–Seidel: alternate sweep direction, which
+            // propagates probability mass quickly in both directions of the
+            // (often chain-structured) reachability graph.
+            let forward = iterations % 2 == 1;
+            let update = |j: usize, pi: &mut Vec<f64>, max_delta: &mut f64| {
+                let inflow: f64 = incoming[j].iter().map(|&(i, p)| pi[i] * p).sum();
+                let denom = 1.0 - self_loop[j];
+                let new = if denom <= 0.0 {
+                    // Absorbing self-loop state: leave mass as-is; the
+                    // deadlock check upstream prevents this in practice.
+                    pi[j]
+                } else {
+                    inflow / denom
+                };
+                *max_delta = (*max_delta).max((new - pi[j]).abs());
+                pi[j] = new;
+            };
+            if forward {
+                for j in 0..n {
+                    update(j, &mut pi, &mut max_delta);
+                }
+            } else {
+                for j in (0..n).rev() {
+                    update(j, &mut pi, &mut max_delta);
+                }
+            }
+            // Normalize to guard against drift.
+            let total: f64 = pi.iter().sum();
+            if total > 0.0 {
+                for v in pi.iter_mut() {
+                    *v /= total;
+                }
+            }
+            residual = max_delta;
+            if residual < tolerance {
+                break;
+            }
+        }
+        if residual >= tolerance {
+            return Err(GtpnError::NoConvergence { residual, iterations });
+        }
+
+        // Time weighting.
+        let mean_sojourn: f64 = pi
+            .iter()
+            .zip(graph.sojourn.iter())
+            .map(|(&p, &h)| p * h as f64)
+            .sum();
+        let pi_time: Vec<f64> = pi
+            .iter()
+            .zip(graph.sojourn.iter())
+            .map(|(&p, &h)| p * h as f64 / mean_sojourn)
+            .collect();
+
+        // Per-transition usage.
+        let tcount = graph.net.transition_count();
+        let mut transition_usage = vec![0.0f64; tcount];
+        for (si, state) in graph.states.iter().enumerate() {
+            if pi_time[si] == 0.0 {
+                continue;
+            }
+            for &(t, _) in &state.firings {
+                transition_usage[t.0] += pi_time[si];
+            }
+        }
+
+        // Aggregate per resource.
+        let mut resource_usage_map: HashMap<String, f64> = HashMap::new();
+        let mut resource_delay: HashMap<String, u64> = HashMap::new();
+        for (ti, t) in graph.net.transitions.iter().enumerate() {
+            if let Some(r) = &t.resource {
+                *resource_usage_map.entry(r.clone()).or_insert(0.0) += transition_usage[ti];
+                let d = resource_delay.entry(r.clone()).or_insert(t.delay);
+                *d = (*d).min(t.delay);
+            }
+        }
+
+        Ok(Solution {
+            pi_time,
+            pi,
+            mean_sojourn,
+            transition_usage,
+            resource_usage_map,
+            resource_delay,
+            transition_delays: graph.net.transitions.iter().map(|t| t.delay).collect(),
+            transition_names: graph.net.transitions.iter().map(|t| t.name.clone()).collect(),
+            iterations,
+            residual,
+        })
+    }
+
+    /// Time-weighted steady-state probabilities of the tangible states.
+    pub fn state_probabilities(&self) -> &[f64] {
+        &self.pi_time
+    }
+
+    /// Embedded-chain (per-step) stationary distribution.
+    pub fn embedded_probabilities(&self) -> &[f64] {
+        &self.pi
+    }
+
+    /// Mean sojourn time per embedded step.
+    pub fn mean_sojourn(&self) -> f64 {
+        self.mean_sojourn
+    }
+
+    /// Usage (time-weighted mean in-progress count) of a resource label.
+    pub fn resource_usage(&self, resource: &str) -> Result<f64, GtpnError> {
+        self.resource_usage_map
+            .get(resource)
+            .copied()
+            .ok_or_else(|| GtpnError::UnknownName(resource.to_string()))
+    }
+
+    /// Completion rate of a resource: `usage / delay` of its transitions.
+    ///
+    /// When several transitions share a resource label they must share the
+    /// same delay for this to be meaningful; the paper's nets satisfy this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GtpnError::UnknownName`] for an unknown resource.
+    pub fn resource_rate(&self, resource: &str) -> Result<f64, GtpnError> {
+        let usage = self.resource_usage(resource)?;
+        let delay = *self
+            .resource_delay
+            .get(resource)
+            .ok_or_else(|| GtpnError::UnknownName(resource.to_string()))?;
+        Ok(if delay == 0 { usage } else { usage / delay as f64 })
+    }
+
+    /// Usage of an individual transition.
+    pub fn transition_usage(&self, transition: TransId) -> f64 {
+        self.transition_usage.get(transition.0).copied().unwrap_or(0.0)
+    }
+
+    /// Completion rate of an individual transition (`usage / delay`).
+    pub fn transition_rate(&self, transition: TransId) -> f64 {
+        let u = self.transition_usage(transition);
+        match self.transition_delays.get(transition.0) {
+            Some(&d) if d > 0 => u / d as f64,
+            _ => u,
+        }
+    }
+
+    /// Usage of a transition looked up by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GtpnError::UnknownName`] if no transition has this name.
+    pub fn transition_usage_by_name(&self, name: &str) -> Result<f64, GtpnError> {
+        let idx = self
+            .transition_names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| GtpnError::UnknownName(name.to_string()))?;
+        Ok(self.transition_usage[idx])
+    }
+
+    /// Number of Gauss–Seidel sweeps performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Final residual (max per-state change in the last sweep).
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::Expr;
+    use crate::net::{Net, Transition};
+
+    /// Geometric stage with mean n: exit utilization must be 1/n.
+    #[test]
+    fn geometric_stage_utilization() {
+        for n in [2.0, 10.0, 1390.0] {
+            let mut net = Net::new("geo");
+            let p = net.add_place("P", 1);
+            let q = net.add_place("Q", 0);
+            net.add_transition(
+                Transition::new("exit")
+                    .delay(1)
+                    .frequency(Expr::constant(1.0 / n))
+                    .resource("lambda")
+                    .input(p, 1)
+                    .output(q, 1),
+            )
+            .unwrap();
+            net.add_transition(
+                Transition::new("loop")
+                    .delay(1)
+                    .frequency(Expr::constant(1.0 - 1.0 / n))
+                    .input(p, 1)
+                    .output(p, 1),
+            )
+            .unwrap();
+            net.add_transition(Transition::new("recycle").delay(0).input(q, 1).output(p, 1))
+                .unwrap();
+            let g = net.reachability(100).unwrap();
+            let s = g.solve(1e-13, 100_000).unwrap();
+            let u = s.resource_usage("lambda").unwrap();
+            assert!((u - 1.0 / n).abs() < 1e-9, "n={n}: usage {u}");
+        }
+    }
+
+    /// Two-stage tandem: each stage geometric mean 4 and 6; cycle time 10;
+    /// throughput 0.1 per time unit.
+    #[test]
+    fn tandem_stage_throughput() {
+        let mut net = Net::new("tandem");
+        let a = net.add_place("A", 1);
+        let b = net.add_place("B", 0);
+        let mk = |name: &str, mean: f64| (name.to_string(), mean);
+        let _ = mk;
+        // Stage A: mean 4.
+        net.add_transition(
+            Transition::new("a_exit")
+                .delay(1)
+                .frequency(Expr::constant(0.25))
+                .input(a, 1)
+                .output(b, 1),
+        )
+        .unwrap();
+        net.add_transition(
+            Transition::new("a_loop")
+                .delay(1)
+                .frequency(Expr::constant(0.75))
+                .input(a, 1)
+                .output(a, 1),
+        )
+        .unwrap();
+        // Stage B: mean 6, measured.
+        net.add_transition(
+            Transition::new("b_exit")
+                .delay(1)
+                .frequency(Expr::constant(1.0 / 6.0))
+                .resource("lambda")
+                .input(b, 1)
+                .output(a, 1),
+        )
+        .unwrap();
+        net.add_transition(
+            Transition::new("b_loop")
+                .delay(1)
+                .frequency(Expr::constant(5.0 / 6.0))
+                .resource("lambda")
+                .input(b, 1)
+                .output(b, 1),
+        )
+        .unwrap();
+        let g = net.reachability(1000).unwrap();
+        let s = g.solve(1e-13, 200_000).unwrap();
+        // Token spends 4 of every 10 units in A, 6 in B: lambda (usage of
+        // stage-B transitions) = 0.6.
+        let u = s.resource_usage("lambda").unwrap();
+        assert!((u - 0.6).abs() < 1e-9, "usage {u}");
+        // Rate of b_exit alone = 1 completion per 10 units = 0.1.
+        let rate = s
+            .transition_usage_by_name("b_exit")
+            .unwrap();
+        assert!((rate - 0.1).abs() < 1e-9, "b_exit usage {rate}");
+    }
+
+    /// Deterministic alternation (period-2 chain) still converges thanks to
+    /// self-loop-free Gauss–Seidel.
+    #[test]
+    fn periodic_chain_converges() {
+        let mut net = Net::new("periodic");
+        let a = net.add_place("A", 1);
+        let b = net.add_place("B", 0);
+        net.add_transition(
+            Transition::new("ab").delay(1).resource("x").input(a, 1).output(b, 1),
+        )
+        .unwrap();
+        net.add_transition(
+            Transition::new("ba").delay(3).input(b, 1).output(a, 1),
+        )
+        .unwrap();
+        let g = net.reachability(100).unwrap();
+        let s = g.solve(1e-14, 100_000).unwrap();
+        // "ab" fires 1 time unit out of every 4.
+        let u = s.resource_usage("x").unwrap();
+        assert!((u - 0.25).abs() < 1e-9, "usage {u}");
+    }
+
+    /// Probabilities are a distribution.
+    #[test]
+    fn probabilities_normalized() {
+        let mut net = Net::new("norm");
+        let p = net.add_place("P", 2);
+        net.add_transition(
+            Transition::new("t1").delay(1).frequency(Expr::constant(0.5)).input(p, 1).output(p, 1),
+        )
+        .unwrap();
+        net.add_transition(
+            Transition::new("t2").delay(2).frequency(Expr::constant(0.5)).input(p, 1).output(p, 1),
+        )
+        .unwrap();
+        let g = net.reachability(1000).unwrap();
+        let s = g.solve(1e-13, 100_000).unwrap();
+        let total: f64 = s.state_probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(s.mean_sojourn() > 0.0);
+        assert!(s.iterations() > 0);
+        assert!(s.residual() < 1e-13);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let mut net = Net::new("u");
+        let p = net.add_place("P", 1);
+        net.add_transition(Transition::new("t").delay(1).input(p, 1).output(p, 1)).unwrap();
+        let s = net.reachability(10).unwrap().solve(1e-12, 1000).unwrap();
+        assert!(s.resource_usage("nope").is_err());
+        assert!(s.transition_usage_by_name("nope").is_err());
+    }
+}

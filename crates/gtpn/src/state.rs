@@ -1,0 +1,89 @@
+//! Markings and tangible states of a GTPN.
+
+use crate::net::TransId;
+use std::fmt;
+
+/// A marking: number of tokens in each place, indexed by `PlaceId`.
+pub type Marking = Vec<u32>;
+
+/// A tangible state of the timed net: a marking together with the multiset
+/// of in-progress firings and their remaining durations.
+///
+/// Tokens consumed by an in-progress firing are *not* in the marking — GTPN
+/// firing removes enabling tokens at start-of-firing and deposits output
+/// tokens at end-of-firing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    /// Tokens per place.
+    pub marking: Marking,
+    /// In-progress firings `(transition, remaining time)`, kept sorted so the
+    /// representation is canonical and hashable.
+    pub firings: Vec<(TransId, u64)>,
+}
+
+impl State {
+    /// Creates a state, canonicalizing the firing list.
+    pub fn new(marking: Marking, mut firings: Vec<(TransId, u64)>) -> State {
+        firings.sort_unstable();
+        State { marking, firings }
+    }
+
+    /// The remaining time until the next firing completes, or `None` when no
+    /// firing is in progress (a potential deadlock).
+    pub fn time_to_next_completion(&self) -> Option<u64> {
+        self.firings.iter().map(|&(_, r)| r).min()
+    }
+
+    /// Number of in-progress firing instances per transition.
+    pub fn firing_counts(&self, transition_count: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; transition_count];
+        for &(t, _) in &self.firings {
+            if t.0 < transition_count {
+                counts[t.0] += 1;
+            }
+        }
+        counts
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{:?} F{{", self.marking)?;
+        for (i, (t, r)) in self.firings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}:{r}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn firings_canonicalized() {
+        let a = State::new(vec![1], vec![(TransId(2), 5), (TransId(0), 3)]);
+        let b = State::new(vec![1], vec![(TransId(0), 3), (TransId(2), 5)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn next_completion_is_min() {
+        let s = State::new(vec![], vec![(TransId(0), 3), (TransId(1), 7)]);
+        assert_eq!(s.time_to_next_completion(), Some(3));
+        let empty = State::new(vec![], vec![]);
+        assert_eq!(empty.time_to_next_completion(), None);
+    }
+
+    #[test]
+    fn firing_counts_multiset() {
+        let s = State::new(
+            vec![],
+            vec![(TransId(1), 2), (TransId(1), 4), (TransId(0), 1)],
+        );
+        assert_eq!(s.firing_counts(3), vec![1, 2, 0]);
+    }
+}

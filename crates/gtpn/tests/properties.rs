@@ -1,0 +1,127 @@
+//! Property-based tests of the GTPN engine.
+
+use gtpn::geometric::GeometricStage;
+use gtpn::sim::{simulate, SimOptions};
+use gtpn::{invariant, Net, Transition};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a ring of geometric stages with the given means; a single token
+/// cycles through all of them.
+fn stage_ring(means: &[f64]) -> Net {
+    let mut net = Net::new("ring");
+    let places: Vec<_> =
+        (0..means.len()).map(|i| net.add_place(format!("P{i}"), u32::from(i == 0))).collect();
+    for (i, &m) in means.iter().enumerate() {
+        let next = places[(i + 1) % places.len()];
+        let mut stage = GeometricStage::new(format!("S{i}"), m).input(places[i], 1).output(next, 1);
+        if i == 0 {
+            stage = stage.resource("lambda");
+        }
+        stage.build(&mut net).unwrap();
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The cycle rate of a tandem of geometric stages is 1/Σmeans, for any
+    /// stage means — the exact solver must get this analytically-known
+    /// answer right. The `lambda` resource sits on stage 0's delay-1 exit
+    /// transition, so its usage equals the cycle rate.
+    #[test]
+    fn tandem_cycle_rate_exact(means in proptest::collection::vec(1.0f64..60.0, 2..5)) {
+        let net = stage_ring(&means);
+        let sol = net.reachability(200_000).unwrap().solve(1e-12, 300_000).unwrap();
+        let total: f64 = means.iter().sum();
+        let usage = sol.resource_usage("lambda").unwrap();
+        let expect = 1.0 / total;
+        prop_assert!((usage - expect).abs() < 1e-6 * expect.max(1e-3),
+            "means {:?}: usage {} vs {}", means, usage, expect);
+    }
+
+    /// Every reachable tangible state has a stochastic out-distribution.
+    #[test]
+    fn out_edges_stochastic(means in proptest::collection::vec(1.0f64..20.0, 2..4),
+                            tokens in 1u32..3) {
+        // Multiple tokens: build the ring with `tokens` on P0.
+        let net = {
+            let mut n2 = Net::new("ring-multi");
+            let places: Vec<_> = (0..means.len())
+                .map(|i| n2.add_place(format!("P{i}"), if i == 0 { tokens } else { 0 }))
+                .collect();
+            for (i, &m) in means.iter().enumerate() {
+                let next = places[(i + 1) % places.len()];
+                GeometricStage::new(format!("S{i}"), m)
+                    .input(places[i], 1)
+                    .output(next, 1)
+                    .build(&mut n2)
+                    .unwrap();
+            }
+            n2
+        };
+        let g = net.reachability(500_000).unwrap();
+        for i in 0..g.state_count() {
+            let p: f64 = g.out_edges(i).iter().map(|&(_, p)| p).sum();
+            prop_assert!((p - 1.0).abs() < 1e-9, "state {i}: mass {p}");
+        }
+    }
+
+    /// Monte-Carlo simulation of the same net agrees with the exact solver.
+    #[test]
+    fn simulation_tracks_solver(means in proptest::collection::vec(2.0f64..30.0, 2..4),
+                                seed in 0u64..1000) {
+        let net = stage_ring(&means);
+        let exact = net
+            .reachability(200_000).unwrap()
+            .solve(1e-12, 300_000).unwrap()
+            .resource_usage("lambda").unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mc = simulate(&net, &SimOptions { horizon: 300_000, warmup: 30_000 }, &mut rng)
+            .unwrap()
+            .resource_usage("lambda")
+            .unwrap();
+        prop_assert!((exact - mc).abs() < 0.05 * exact.max(0.02),
+            "exact {exact} vs MC {mc} (means {:?})", means);
+    }
+
+    /// P-invariant analysis: a pure cycle of single-token transitions is
+    /// conservative with the all-ones weighting, whatever its length.
+    #[test]
+    fn cycles_are_conservative(len in 2usize..8) {
+        let mut net = Net::new("cycle");
+        let places: Vec<_> = (0..len).map(|i| net.add_place(format!("P{i}"), 1)).collect();
+        for i in 0..len {
+            net.add_transition(
+                Transition::new(format!("T{i}"))
+                    .delay(1)
+                    .input(places[i], 1)
+                    .output(places[(i + 1) % len], 1),
+            )
+            .unwrap();
+        }
+        let ones = vec![1i64; len];
+        prop_assert!(invariant::is_invariant(&net, &ones));
+        let basis = invariant::p_invariants(&net);
+        prop_assert!(!basis.is_empty());
+        for y in &basis {
+            prop_assert!(invariant::is_invariant(&net, y));
+        }
+    }
+
+    /// Weighted production/consumption: T consuming a of A and producing b
+    /// of B is conserved exactly by the weighting (b, a).
+    #[test]
+    fn weighted_conservation(a in 1u32..5, b in 1u32..5) {
+        let mut net = Net::new("w");
+        let pa = net.add_place("A", a * 4);
+        let pb = net.add_place("B", 0);
+        net.add_transition(Transition::new("fwd").delay(1).input(pa, a).output(pb, b)).unwrap();
+        net.add_transition(Transition::new("rev").delay(1).input(pb, b).output(pa, a)).unwrap();
+        prop_assert!(invariant::is_invariant(&net, &[i64::from(b), i64::from(a)]));
+        prop_assert!(!invariant::is_invariant(&net, &[i64::from(b) + 1, i64::from(a)])
+            || a == 0);
+    }
+}

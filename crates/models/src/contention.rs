@@ -1,0 +1,150 @@
+//! The low-level shared-memory contention model (§6.6.2, Figure 6.8,
+//! Tables 6.2/6.3).
+//!
+//! Exact modeling of memory-cycle contention inside the big conversation
+//! nets would explode their state spaces, so the paper solves a small model
+//! once per activity mix: each activity cycles through unit steps, a step
+//! being a shared-memory access with probability `m/b` (`m` = memory-access
+//! time, `b` = best completion time) and pure processing otherwise; a
+//! memory-access step needs the single memory-port token, and a blocked
+//! access stalls the activity for the step. The reciprocal of an activity's
+//! completion rate is its "contention" completion time — the numbers in the
+//! tables' Contention columns.
+
+use crate::{ModelError, MAX_SWEEPS, STATE_BUDGET, TOLERANCE};
+use gtpn::{Expr, Net, Transition};
+
+/// One contending activity: a name, its pure completion time (the "Best"
+/// column) and its shared-memory access time within that.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContendingActivity {
+    /// Name (diagnostics and result labeling).
+    pub name: &'static str,
+    /// Contention-free completion time, µs.
+    pub best_us: f64,
+    /// Shared-memory access time within `best_us`, µs.
+    pub memory_us: f64,
+}
+
+/// Builds the Figure 6.8 net for a set of concurrently-cycling activities.
+pub fn build(activities: &[ContendingActivity]) -> Result<Net, ModelError> {
+    let mut net = Net::new("contention");
+    let port = net.add_place("MemoryPort", 1);
+    for a in activities {
+        let p = net.add_place(a.name, 1);
+        let b = a.best_us.max(1.0);
+        let exit_f = 1.0 / b;
+        let mem_f = (a.memory_us / b).min(1.0 - exit_f);
+        let cpu_f = (1.0 - exit_f - mem_f).max(0.0);
+        let port_free = Expr::Not(Box::new(Expr::place_empty(port)));
+        // Completion step. A stalled tick makes no progress, so on a
+        // port-busy tick the per-tick exit probability scales by the
+        // probability the tick is not a (blocked) memory tick — this is
+        // what stretches the completion time toward `b / (1 - mu*q)`.
+        net.add_transition(
+            Transition::new(format!("{}_exit", a.name))
+                .delay(1)
+                .frequency(Expr::If(
+                    Box::new(port_free.clone()),
+                    Box::new(Expr::constant(exit_f)),
+                    Box::new(Expr::constant(exit_f * (1.0 - mem_f))),
+                ))
+                .resource(format!("{}_done", a.name))
+                .input(p, 1)
+                .output(p, 1),
+        )?;
+        // Pure processing step (the remainder of the tick distribution).
+        net.add_transition(
+            Transition::new(format!("{}_cpu", a.name))
+                .delay(1)
+                .frequency(Expr::If(
+                    Box::new(port_free),
+                    Box::new(Expr::constant(cpu_f)),
+                    Box::new(Expr::constant((1.0 - mem_f - exit_f * (1.0 - mem_f)).max(0.0))),
+                ))
+                .input(p, 1)
+                .output(p, 1),
+        )?;
+        // Memory-access step: needs the port.
+        net.add_transition(
+            Transition::new(format!("{}_mem", a.name))
+                .delay(1)
+                .frequency(Expr::constant(mem_f))
+                .input(p, 1)
+                .input(port, 1)
+                .output(p, 1)
+                .output(port, 1),
+        )?;
+        // Stalled access: the port is taken; the activity burns the step.
+        net.add_transition(
+            Transition::new(format!("{}_stall", a.name))
+                .delay(1)
+                .frequency(Expr::gate(Expr::place_empty(port), Expr::constant(mem_f)))
+                .input(p, 1)
+                .output(p, 1),
+        )?;
+    }
+    Ok(net)
+}
+
+/// Solves the contention model: returns each activity's contention
+/// completion time (µs), in input order.
+pub fn completion_times(activities: &[ContendingActivity]) -> Result<Vec<f64>, ModelError> {
+    let net = build(activities)?;
+    let graph = net.reachability(STATE_BUDGET)?;
+    let sol = graph.solve(TOLERANCE, MAX_SWEEPS)?;
+    activities
+        .iter()
+        .map(|a| {
+            let rate = sol.resource_usage(&format!("{}_done", a.name))?;
+            Ok(1.0 / rate)
+        })
+        .collect()
+}
+
+/// The Table 6.2 mix: architecture I non-local client-node activities.
+pub const TABLE_6_2: &[ContendingActivity] = &[
+    ContendingActivity { name: "SendProc", best_us: 1290.0, memory_us: 150.0 },
+    ContendingActivity { name: "DMAout", best_us: 230.0, memory_us: 30.0 },
+    ContendingActivity { name: "DMAin", best_us: 230.0, memory_us: 30.0 },
+    ContendingActivity { name: "NetIntr", best_us: 960.0, memory_us: 130.0 },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_inflates_but_stays_close_to_table_6_2() {
+        // Published contention times: 1314.9, 235.2, 235.2, 982 — inflation
+        // of roughly 2%. Our stall-step model reproduces the direction and
+        // magnitude (within 3% of the published values).
+        let times = completion_times(TABLE_6_2).unwrap();
+        let published = [1314.9, 235.2, 235.2, 982.0];
+        for ((a, &got), &want) in TABLE_6_2.iter().zip(&times).zip(&published) {
+            assert!(got > a.best_us, "{}: {got} should exceed best {}", a.name, a.best_us);
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.03, "{}: got {got}, published {want}", a.name);
+        }
+    }
+
+    #[test]
+    fn no_contention_for_a_single_activity() {
+        let only = [ContendingActivity { name: "solo", best_us: 500.0, memory_us: 100.0 }];
+        let t = completion_times(&only).unwrap();
+        assert!((t[0] - 500.0).abs() / 500.0 < 0.01, "{}", t[0]);
+    }
+
+    #[test]
+    fn memory_free_activity_never_inflates() {
+        let acts = [
+            ContendingActivity { name: "pure", best_us: 400.0, memory_us: 0.0 },
+            ContendingActivity { name: "hog", best_us: 100.0, memory_us: 90.0 },
+        ];
+        let t = completion_times(&acts).unwrap();
+        assert!((t[0] - 400.0).abs() / 400.0 < 0.01, "pure: {}", t[0]);
+        // The hog contends with nobody (its partner never touches memory),
+        // so it runs at its best time too.
+        assert!((t[1] - 100.0).abs() / 100.0 < 0.01, "hog: {}", t[1]);
+    }
+}

@@ -1,0 +1,48 @@
+use crate::service::ServiceId;
+use crate::task::TaskId;
+use std::fmt;
+
+/// Kernel call failures — the validity checks the profiling chapters charge
+/// to "checking, addressing, and control block manipulation".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// The task id does not name a live task.
+    UnknownTask(TaskId),
+    /// The service id does not name a live service on this node.
+    UnknownService(ServiceId),
+    /// The task issued a syscall while it already has one outstanding.
+    RequestOutstanding(TaskId),
+    /// `Receive` without any prior `Offer`.
+    NoOffers(TaskId),
+    /// `Reply` without a rendezvous in progress.
+    NoRendezvous(TaskId),
+    /// `MemoryMove` outside the granted segment or without the right.
+    AccessViolation {
+        /// The offending server task.
+        task: TaskId,
+        /// Description of the violated constraint.
+        reason: &'static str,
+    },
+    /// A packet arrived for a task/service this kernel does not know.
+    BadPacket(&'static str),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            KernelError::UnknownService(s) => write!(f, "unknown service {s}"),
+            KernelError::RequestOutstanding(t) => {
+                write!(f, "{t} already has an outstanding request")
+            }
+            KernelError::NoOffers(t) => write!(f, "{t} posted receive without offers"),
+            KernelError::NoRendezvous(t) => write!(f, "{t} replied outside a rendezvous"),
+            KernelError::AccessViolation { task, reason } => {
+                write!(f, "{task} memory-move access violation: {reason}")
+            }
+            KernelError::BadPacket(why) => write!(f, "bad network packet: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}

@@ -1,0 +1,128 @@
+//! Fixed-size messages and memory references (§4.2.1).
+
+use std::fmt;
+
+/// Messages in 925 are fixed at 40 bytes.
+pub const MESSAGE_SIZE: usize = 40;
+
+/// Access rights carried by a [`MemoryRef`] (§4.2.1: read, write and/or
+/// copy, plus the segment size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessRights {
+    /// Server may read from the segment.
+    pub read: bool,
+    /// Server may write into the segment.
+    pub write: bool,
+    /// Server may retain a copy beyond the rendezvous.
+    pub copy: bool,
+}
+
+impl AccessRights {
+    /// Read-only access.
+    pub fn read_only() -> AccessRights {
+        AccessRights { read: true, write: false, copy: false }
+    }
+
+    /// Read/write access.
+    pub fn read_write() -> AccessRights {
+        AccessRights { read: true, write: true, copy: false }
+    }
+}
+
+/// A memory reference enclosed in a message: a pointer into the *sender's*
+/// address space plus rights, letting the server move large blocks without
+/// kernel buffering (Figure 4.2's editor / file-server scenario).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryRef {
+    /// Offset within the sending task's address space.
+    pub offset: u32,
+    /// Segment length in bytes.
+    pub length: u32,
+    /// Access rights granted to the receiving server.
+    pub rights: AccessRights,
+}
+
+/// A fixed-size 40-byte message, optionally enclosing a memory reference.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Payload bytes.
+    pub data: [u8; MESSAGE_SIZE],
+    /// Optional enclosed memory reference.
+    pub memory_ref: Option<MemoryRef>,
+}
+
+impl Message {
+    /// An all-zero message.
+    pub fn empty() -> Message {
+        Message { data: [0; MESSAGE_SIZE], memory_ref: None }
+    }
+
+    /// Builds a message from up to 40 bytes of payload (zero padded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` exceeds [`MESSAGE_SIZE`] bytes — 925 messages
+    /// are fixed-size; larger data travels by memory reference.
+    pub fn from_bytes(payload: &[u8]) -> Message {
+        assert!(payload.len() <= MESSAGE_SIZE, "925 messages are 40 bytes");
+        let mut data = [0u8; MESSAGE_SIZE];
+        data[..payload.len()].copy_from_slice(payload);
+        Message { data, memory_ref: None }
+    }
+
+    /// Attaches a memory reference.
+    pub fn with_memory_ref(mut self, memory_ref: MemoryRef) -> Message {
+        self.memory_ref = Some(memory_ref);
+        self
+    }
+}
+
+impl Default for Message {
+    fn default() -> Message {
+        Message::empty()
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let used = self.data.iter().rposition(|&b| b != 0).map_or(0, |i| i + 1);
+        f.debug_struct("Message")
+            .field("data", &&self.data[..used])
+            .field("memory_ref", &self.memory_ref)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_pads_with_zeros() {
+        let m = Message::from_bytes(b"hello");
+        assert_eq!(&m.data[..5], b"hello");
+        assert!(m.data[5..].iter().all(|&b| b == 0));
+        assert!(m.memory_ref.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "40 bytes")]
+    fn oversized_payload_rejected() {
+        Message::from_bytes(&[0u8; 41]);
+    }
+
+    #[test]
+    fn memory_ref_attachment() {
+        let r = MemoryRef { offset: 128, length: 1000, rights: AccessRights::read_write() };
+        let m = Message::empty().with_memory_ref(r);
+        assert_eq!(m.memory_ref, Some(r));
+        assert!(r.rights.read && r.rights.write && !r.rights.copy);
+    }
+
+    #[test]
+    fn debug_is_compact() {
+        let m = Message::from_bytes(&[1, 2, 3]);
+        let s = format!("{m:?}");
+        assert!(s.contains("[1, 2, 3]"), "{s}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Tasks and task control blocks.
+
+use std::fmt;
+
+/// Identifier of a node in the distributed system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a task within its node's kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// The three task states of §4.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskState {
+    /// Executing or ready to execute on the host (on the computation list).
+    Computing,
+    /// Executing or ready to execute on the message coprocessor (on the
+    /// communication list).
+    Communicating,
+    /// Waiting for a message or a reply.
+    Stopped,
+}
+
+/// A task control block.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Task name (diagnostics).
+    pub name: String,
+    /// Scheduling priority; higher runs first, FCFS among equals.
+    pub priority: u8,
+    /// Current state.
+    pub state: TaskState,
+    /// The task's private address space.
+    pub address_space: Vec<u8>,
+    /// Message delivered by the last completed receive/wait.
+    pub delivered: Option<crate::message::Message>,
+    /// Services this task has offered to serve.
+    pub offers: Vec<crate::service::ServiceId>,
+}
+
+impl Task {
+    /// Creates a task with an address space of `space` bytes.
+    pub fn new(name: impl Into<String>, priority: u8, space: usize) -> Task {
+        Task {
+            name: name.into(),
+            priority,
+            state: TaskState::Computing,
+            address_space: vec![0; space],
+            delivered: None,
+            offers: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_task_starts_computing() {
+        let t = Task::new("editor", 1, 1024);
+        assert_eq!(t.state, TaskState::Computing);
+        assert_eq!(t.address_space.len(), 1024);
+        assert!(t.delivered.is_none());
+        assert!(t.offers.is_empty());
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(3).to_string(), "node3");
+        assert_eq!(TaskId(7).to_string(), "task7");
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the message kernel: conservation of kernel
+//! buffers and messages under arbitrary workload interleavings.
+
+use msgkernel::{
+    Kernel, KernelEvent, Message, NodeId, SendMode, ServiceAddr, Syscall, TaskId, TaskState,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    ClientSend(usize),
+    ServerReceive(usize),
+    ServerReply(usize),
+}
+
+fn step_strategy(clients: usize, servers: usize) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..clients).prop_map(Step::ClientSend),
+        (0..servers).prop_map(Step::ServerReceive),
+        (0..servers).prop_map(Step::ServerReply),
+    ]
+}
+
+fn drain(k: &mut Kernel) -> Vec<KernelEvent> {
+    let mut events = Vec::new();
+    while let Some(t) = k.next_communication() {
+        match k.process(t) {
+            Ok(evs) => events.extend(evs),
+            Err(e) => panic!("kernel error during drain: {e}"),
+        }
+    }
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under any interleaving of sends, receives and replies:
+    /// * kernel buffers are conserved (free + held-by-queued = capacity);
+    /// * every send is eventually delivered (when enough receives follow);
+    /// * no task is lost in an invalid state.
+    #[test]
+    fn workload_interleavings_conserve_resources(
+        steps in proptest::collection::vec(step_strategy(3, 2), 1..120),
+        buffers in 2usize..8,
+    ) {
+        let mut k = Kernel::new(NodeId(0), buffers);
+        let clients: Vec<TaskId> =
+            (0..3).map(|i| k.create_task(format!("c{i}"), 1, 64)).collect();
+        let servers: Vec<TaskId> =
+            (0..2).map(|i| k.create_task(format!("s{i}"), 1, 64)).collect();
+        let svc = k.create_service("svc");
+        let addr = ServiceAddr { node: k.node(), service: svc };
+        for &s in &servers {
+            k.submit(s, Syscall::Offer { service: svc }).unwrap();
+        }
+        drain(&mut k);
+
+        for step in steps {
+            match step {
+                Step::ClientSend(i) => {
+                    let c = clients[i];
+                    // Only idle, computing clients issue sends.
+                    if k.pending_request(c).is_none()
+                        && k.task(c).unwrap().state == TaskState::Computing
+                    {
+                        k.submit(c, Syscall::Send {
+                            to: addr,
+                            message: Message::empty(),
+                            mode: SendMode::invocation(),
+                        }).unwrap();
+                    }
+                }
+                Step::ServerReceive(i) => {
+                    let s = servers[i];
+                    if k.pending_request(s).is_none()
+                        && k.task(s).unwrap().state == TaskState::Computing
+                        && !k.in_rendezvous(s)
+                    {
+                        k.submit(s, Syscall::Receive).unwrap();
+                    }
+                }
+                Step::ServerReply(i) => {
+                    let s = servers[i];
+                    if k.pending_request(s).is_none()
+                        && k.task(s).unwrap().state == TaskState::Computing
+                        && k.in_rendezvous(s)
+                    {
+                        k.submit(s, Syscall::Reply { message: Message::empty() }).unwrap();
+                    }
+                }
+            }
+            drain(&mut k);
+            // Buffer conservation: free + queued == capacity.
+            let queued = k.service_queue_len(svc).unwrap();
+            prop_assert!(k.buffers_available() + queued <= buffers,
+                "free {} + queued {queued} exceeds capacity {buffers}",
+                k.buffers_available());
+        }
+
+        // Drive the system to quiescence: satisfy all outstanding sends.
+        for _ in 0..40 {
+            let mut progressed = false;
+            for &s in &servers {
+                if k.pending_request(s).is_none()
+                    && k.task(s).unwrap().state == TaskState::Computing
+                {
+                    if k.in_rendezvous(s) {
+                        k.submit(s, Syscall::Reply { message: Message::empty() }).unwrap();
+                        progressed = true;
+                    } else {
+                        k.submit(s, Syscall::Receive).unwrap();
+                        progressed = true;
+                    }
+                    drain(&mut k);
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        let st = k.stats();
+        prop_assert!(st.deliveries <= st.sends, "deliveries {} > sends {}", st.deliveries, st.sends);
+        prop_assert!(st.replies <= st.deliveries);
+    }
+
+    /// Sends and replies across two nodes conserve packets: packets_out on
+    /// one side equals packets_in on the other, and every awaited send that
+    /// is served gets exactly one reply packet.
+    #[test]
+    fn cross_node_packet_conservation(rounds in 1usize..20) {
+        let mut a = Kernel::new(NodeId(0), 8);
+        let mut b = Kernel::new(NodeId(1), 8);
+        let client = a.create_task("client", 1, 64);
+        let server = b.create_task("server", 1, 64);
+        let svc = b.create_service("svc");
+        b.submit(server, Syscall::Offer { service: svc }).unwrap();
+        drain(&mut b);
+
+        for _ in 0..rounds {
+            b.submit(server, Syscall::Receive).unwrap();
+            drain(&mut b);
+            a.submit(client, Syscall::Send {
+                to: ServiceAddr { node: NodeId(1), service: svc },
+                message: Message::empty(),
+                mode: SendMode::invocation(),
+            }).unwrap();
+            let mut packets: Vec<_> = drain(&mut a)
+                .into_iter()
+                .filter_map(|e| match e {
+                    KernelEvent::PacketOut(p) => Some(p),
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(packets.len(), 1);
+            b.handle_packet(packets.pop().unwrap()).unwrap();
+            b.submit(server, Syscall::Reply { message: Message::empty() }).unwrap();
+            let mut packets: Vec<_> = drain(&mut b)
+                .into_iter()
+                .filter_map(|e| match e {
+                    KernelEvent::PacketOut(p) => Some(p),
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(packets.len(), 1);
+            a.handle_packet(packets.pop().unwrap()).unwrap();
+        }
+        prop_assert_eq!(a.stats().packets_out, rounds as u64);
+        prop_assert_eq!(a.stats().packets_in, rounds as u64);
+        prop_assert_eq!(b.stats().packets_in, rounds as u64);
+        prop_assert_eq!(b.stats().packets_out, rounds as u64);
+    }
+}

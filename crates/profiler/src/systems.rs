@@ -1,0 +1,206 @@
+//! The four profiled systems (Tables 3.1–3.7).
+//!
+//! Activity structures, processor speeds and message sizes are transcribed
+//! from the thesis; each activity's instruction budget is its published
+//! time at the published MIPS rating, so replaying a kernel run through the
+//! harness regenerates the tables.
+
+use crate::spec::{activity_from_time, KernelSpec};
+
+/// Charlotte (Table 3.1): VAX 11/750 at ~0.5 MIPS, 1000-byte local message,
+/// 20 ms round trip.
+pub fn charlotte() -> KernelSpec {
+    let mips = 0.5;
+    KernelSpec {
+        name: "Charlotte",
+        processor: "VAX 11/750 (~0.5 MIPS)",
+        mips,
+        message_bytes: 1_000,
+        local: true,
+        activities: vec![
+            activity_from_time("Kernel-Process Switching Time", 2.0, mips, 4),
+            activity_from_time("Copy Time", 0.6, mips, 2),
+            activity_from_time("Entering and Exiting Kernel", 2.8, mips, 4),
+            activity_from_time("Protocol Processing for Sender and Receiver", 10.0, mips, 2),
+            activity_from_time("Link Translation and Request Selection", 4.6, mips, 2),
+        ],
+    }
+}
+
+/// Jasmin (Table 3.2): 12 MHz Motorola 68000 at ~0.3 MIPS, 32-byte message
+/// each way, 0.72 ms round trip (kernel procedures invoked as subroutines —
+/// no kernel entry/exit cost).
+pub fn jasmin() -> KernelSpec {
+    let mips = 0.3;
+    KernelSpec {
+        name: "Jasmin",
+        processor: "Motorola 68000 (~0.3 MIPS)",
+        mips,
+        message_bytes: 32,
+        local: true,
+        activities: vec![
+            activity_from_time("Actions Leading to Short-Term Scheduling Decisions", 0.288, mips, 2),
+            activity_from_time("Copy Time", 0.108, mips, 4),
+            activity_from_time("Buffer Management", 0.072, mips, 2),
+            activity_from_time("Path Management", 0.144, mips, 2),
+            activity_from_time("Miscellaneous (Network Channels, Communication Task)", 0.108, mips, 1),
+        ],
+    }
+}
+
+/// The 925 (Table 3.3): 8 MHz Motorola 68000 at ~0.3 MIPS, 40-byte message
+/// each way, 5.6 ms round trip.
+pub fn sys925() -> KernelSpec {
+    let mips = 0.3;
+    KernelSpec {
+        name: "925",
+        processor: "Motorola 68000 (~0.3 MIPS)",
+        mips,
+        message_bytes: 40,
+        local: true,
+        activities: vec![
+            activity_from_time("Short-Term Scheduling (Including event processing)", 1.96, mips, 3),
+            activity_from_time("Copy Time", 0.84, mips, 4),
+            activity_from_time("Entering and Exiting Kernel", 0.56, mips, 6),
+            activity_from_time("Checking, Addressing, and Control Block Manipulation", 2.24, mips, 3),
+        ],
+    }
+}
+
+/// Unix 4.2bsd, local sockets (Table 3.4): MicroVAX II at ~0.8 MIPS,
+/// 128-byte message each way, 4.57 ms round trip, four copies.
+pub fn unix_local() -> KernelSpec {
+    let mips = 0.8;
+    KernelSpec {
+        name: "Unix",
+        processor: "Microvax II (~0.8 MIPS)",
+        mips,
+        message_bytes: 128,
+        local: true,
+        activities: vec![
+            activity_from_time("Validity Checking and Control Block Manipulation", 2.44, mips, 4),
+            activity_from_time("Copy Time", 0.88, mips, 4),
+            activity_from_time("Short-Term Scheduling", 0.78, mips, 2),
+            activity_from_time("Buffer Management", 0.46, mips, 4),
+        ],
+    }
+}
+
+/// Unix 4.2bsd over TCP/IP (Table 3.5): 128-byte non-local message, 6.8 ms
+/// round trip.
+pub fn unix_nonlocal() -> KernelSpec {
+    let mips = 0.8;
+    KernelSpec {
+        name: "Unix",
+        processor: "Microvax II (~0.8 MIPS)",
+        mips,
+        message_bytes: 128,
+        local: false,
+        activities: vec![
+            activity_from_time("Socket Routines", 1.02, mips, 2),
+            activity_from_time("Copy Time", 0.5, mips, 2),
+            activity_from_time("Checksum Calculation", 0.6, mips, 2),
+            activity_from_time("Short-Term Scheduling", 0.4, mips, 2),
+            activity_from_time("Buffer Management", 0.3, mips, 2),
+            activity_from_time("TCP processing", 1.3, mips, 2),
+            activity_from_time("IP processing", 1.6, mips, 2),
+            activity_from_time("Interrupt Processing", 1.1, mips, 2),
+        ],
+    }
+}
+
+/// Table 3.6 — Unix system-service ("server computation") times, ms.
+pub const UNIX_SERVERS: &[(&str, f64)] = &[
+    ("Open File", 4.35),
+    ("Close File", 0.36),
+    ("Make Directory", 18.71),
+    ("Remove Directory", 14.28),
+    ("Timer Service (Sleep)", 3.453),
+    ("GetTimeofDay", 0.200),
+];
+
+/// Table 3.7 — Unix file-system read/write times by block size, ms:
+/// `(block size, read, write)` (zero-byte baseline already subtracted).
+pub const UNIX_READ_WRITE: &[(u32, f64, f64)] = &[
+    (128, 1.0092, 1.5464),
+    (256, 1.0867, 1.7633),
+    (512, 1.2329, 2.0982),
+    (1024, 1.5999, 2.7095),
+    (2048, 1.7647, 3.8082),
+    (3072, 2.739, 5.7908),
+    (4096, 3.2442, 6.1082),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::KernelRun;
+
+    #[test]
+    fn table_3_1_charlotte_breakdown() {
+        let spec = charlotte();
+        let b = KernelRun::new(&spec).execute(200).breakdown();
+        assert!((b.round_trip_ms - 20.0).abs() < 0.1, "rt {}", b.round_trip_ms);
+        assert!((b.copy_ms - 0.6).abs() < 0.05);
+        let protocol = b.rows.iter().find(|r| r.name.starts_with("Protocol")).unwrap();
+        assert!((protocol.percent - 50.0).abs() < 1.0, "{}", protocol.percent);
+        let copy = b.rows.iter().find(|r| r.name == "Copy Time").unwrap();
+        assert!((copy.percent - 3.0).abs() < 0.5, "{}", copy.percent);
+    }
+
+    #[test]
+    fn table_3_2_jasmin_breakdown() {
+        let spec = jasmin();
+        let b = KernelRun::new(&spec).execute(200).breakdown();
+        assert!((b.round_trip_ms - 0.72).abs() < 0.05, "rt {}", b.round_trip_ms);
+        let sched = &b.rows[0];
+        assert!((sched.percent - 40.0).abs() < 3.0, "{}", sched.percent);
+    }
+
+    #[test]
+    fn table_3_3_925_breakdown() {
+        let spec = sys925();
+        let b = KernelRun::new(&spec).execute(200).breakdown();
+        assert!((b.round_trip_ms - 5.6).abs() < 0.05, "rt {}", b.round_trip_ms);
+        let checking = b.rows.iter().find(|r| r.name.starts_with("Checking")).unwrap();
+        assert!((checking.percent - 40.0).abs() < 1.0);
+        let copy = b.rows.iter().find(|r| r.name == "Copy Time").unwrap();
+        assert!((copy.percent - 15.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn table_3_4_unix_local_breakdown() {
+        let spec = unix_local();
+        let b = KernelRun::new(&spec).execute(200).breakdown();
+        assert!((b.round_trip_ms - 4.57).abs() < 0.05, "rt {}", b.round_trip_ms);
+        let validity = &b.rows[0];
+        assert!((validity.percent - 53.4).abs() < 1.0, "{}", validity.percent);
+    }
+
+    #[test]
+    fn table_3_5_unix_nonlocal_breakdown() {
+        let spec = unix_nonlocal();
+        let b = KernelRun::new(&spec).execute(200).breakdown();
+        assert!((b.round_trip_ms - 6.8).abs() < 0.1, "rt {}", b.round_trip_ms);
+        let ip = b.rows.iter().find(|r| r.name == "IP processing").unwrap();
+        assert!((ip.percent - 24.0).abs() < 1.0);
+        // Protocol processing (TCP+IP+checksum) dwarfs the copy cost.
+        let copy = b.rows.iter().find(|r| r.name == "Copy Time").unwrap();
+        assert!(copy.percent < 8.0);
+    }
+
+    #[test]
+    fn servers_and_filesystem_tables_present() {
+        assert_eq!(UNIX_SERVERS.len(), 6);
+        assert_eq!(UNIX_READ_WRITE.len(), 7);
+        // Writes cost more than reads at every block size.
+        for &(_, r, w) in UNIX_READ_WRITE {
+            assert!(w > r);
+        }
+        // Read/write times grow with block size.
+        for w in UNIX_READ_WRITE.windows(2) {
+            assert!(w[1].1 > w[0].1);
+            assert!(w[1].2 > w[0].2);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Transactions, responses, and the slave-side interface of the smart bus.
+
+use crate::command::Command;
+use std::fmt;
+
+/// Direction of a block transfer, specified on the command bus with the
+/// `block transfer` request (§5.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockDirection {
+    /// Memory → processor (the memory will issue `block read data`).
+    Read,
+    /// Processor → memory (the processor will issue `block write data`).
+    Write,
+}
+
+/// A tag uniquely identifying an outstanding block transfer (four `TG`
+/// lines: at most sixteen outstanding transactions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u8);
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tag{}", self.0)
+    }
+}
+
+/// A master-initiated smart bus transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Transaction {
+    /// Simple two-byte read.
+    SimpleRead {
+        /// Byte address.
+        addr: u16,
+    },
+    /// Write two bytes.
+    WriteWord {
+        /// Byte address (even).
+        addr: u16,
+        /// Value to store.
+        value: u16,
+    },
+    /// Write one byte.
+    WriteByte {
+        /// Byte address.
+        addr: u16,
+        /// Value to store.
+        value: u8,
+    },
+    /// Block transfer request: intent to move `count` contiguous bytes
+    /// starting at `addr`. For writes, `data` carries the words the master
+    /// will subsequently stream with `block write data`.
+    BlockTransfer {
+        /// Starting byte address.
+        addr: u16,
+        /// Number of contiguous bytes.
+        count: u16,
+        /// Direction of the subsequent streaming.
+        direction: BlockDirection,
+        /// Words to stream on a write (empty for reads).
+        data: Vec<u16>,
+    },
+    /// Atomic enqueue of `element` on the list anchored at `list`.
+    Enqueue {
+        /// Address of the list-tail pointer cell.
+        list: u16,
+        /// Address of the element to enqueue.
+        element: u16,
+    },
+    /// Atomic dequeue of `element` from the list anchored at `list`.
+    Dequeue {
+        /// Address of the list-tail pointer cell.
+        list: u16,
+        /// Address of the element to dequeue.
+        element: u16,
+    },
+    /// Atomic dequeue of the first element of the list anchored at `list`.
+    First {
+        /// Address of the list-tail pointer cell.
+        list: u16,
+    },
+}
+
+impl Transaction {
+    /// The command encoding this transaction places on `CM0–CM3`.
+    pub fn command(&self) -> Command {
+        match self {
+            Transaction::SimpleRead { .. } => Command::SimpleRead,
+            Transaction::WriteWord { .. } => Command::WriteTwoBytes,
+            Transaction::WriteByte { .. } => Command::WriteByte,
+            Transaction::BlockTransfer { .. } => Command::BlockTransfer,
+            Transaction::Enqueue { .. } => Command::EnqueueControlBlock,
+            Transaction::Dequeue { .. } => Command::DequeueControlBlock,
+            Transaction::First { .. } => Command::FirstControlBlock,
+        }
+    }
+}
+
+/// Slave response completing a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Acknowledge with no data (writes, enqueue, dequeue).
+    Ack,
+    /// Data word (simple read).
+    Data(u16),
+    /// Pointer to the dequeued first element; `None` is the distinguished
+    /// NULL value for an empty list.
+    Element(Option<u16>),
+    /// Block data read from memory (assembled from the streamed words).
+    Block(Vec<u16>),
+    /// Block write completed.
+    BlockWritten,
+}
+
+/// Errors raised by the shared-memory slave (§A.5 error conditions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlaveError {
+    /// The internal block-request table is full (more outstanding block
+    /// transfers than tags).
+    BlockTableFull,
+    /// A streaming command carried a tag with no table entry.
+    UnknownTag(Tag),
+    /// Address/count runs past the end of the memory module.
+    AddressOutOfRange {
+        /// Offending byte address.
+        addr: u32,
+    },
+    /// A queue operation addressed a malformed list (e.g. a cycle that does
+    /// not return to the tail within the memory bound).
+    CorruptList {
+        /// Address of the list-tail pointer cell.
+        list: u16,
+    },
+}
+
+impl fmt::Display for SlaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlaveError::BlockTableFull => write!(f, "block request table full"),
+            SlaveError::UnknownTag(t) => write!(f, "no block table entry for {t}"),
+            SlaveError::AddressOutOfRange { addr } => {
+                write!(f, "address {addr:#x} out of range")
+            }
+            SlaveError::CorruptList { list } => {
+                write!(f, "corrupt circular list anchored at {list:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SlaveError {}
+
+/// The slave side of the bus: implemented by the smart shared memory
+/// controller (`smartmem` crate) and by test doubles.
+///
+/// Block transfers are split exactly as on the real bus: the request
+/// ([`BusSlave::block_transfer`]) registers intent and returns a tag; data
+/// then moves in word pairs via [`BusSlave::stream_out`] /
+/// [`BusSlave::stream_in`], with the slave's internal table tracking
+/// progress so preempted transfers resume where they stopped.
+pub trait BusSlave {
+    /// Simple two-byte read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SlaveError::AddressOutOfRange`] for a bad address.
+    fn simple_read(&mut self, addr: u16) -> Result<u16, SlaveError>;
+
+    /// Write two bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SlaveError::AddressOutOfRange`] for a bad address.
+    fn write_word(&mut self, addr: u16, value: u16) -> Result<(), SlaveError>;
+
+    /// Write one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SlaveError::AddressOutOfRange`] for a bad address.
+    fn write_byte(&mut self, addr: u16, value: u8) -> Result<(), SlaveError>;
+
+    /// Registers a block transfer; returns the identifying tag.
+    ///
+    /// `priority` is the requesting unit's arbitration number — the memory
+    /// services outbound streams highest-priority-first (§2.6.6 / §5.2).
+    ///
+    /// # Errors
+    ///
+    /// [`SlaveError::BlockTableFull`] or [`SlaveError::AddressOutOfRange`].
+    fn block_transfer(
+        &mut self,
+        addr: u16,
+        count: u16,
+        direction: BlockDirection,
+        priority: u8,
+    ) -> Result<Tag, SlaveError>;
+
+    /// The highest-priority pending outbound (read) stream, if any — the
+    /// memory masters the bus to send it.
+    fn pending_read(&self) -> Option<Tag>;
+
+    /// Streams up to `max_words` words out of the block identified by `tag`.
+    /// Returns the words and whether the block is now complete.
+    ///
+    /// # Errors
+    ///
+    /// [`SlaveError::UnknownTag`] for a stale tag.
+    fn stream_out(&mut self, tag: Tag, max_words: usize) -> Result<(Vec<u16>, bool), SlaveError>;
+
+    /// Streams words into the block identified by `tag`. Returns `true`
+    /// when the block is complete.
+    ///
+    /// # Errors
+    ///
+    /// [`SlaveError::UnknownTag`] for a stale tag.
+    fn stream_in(&mut self, tag: Tag, words: &[u16]) -> Result<bool, SlaveError>;
+
+    /// Atomic enqueue (§5.1 primitive 1).
+    ///
+    /// # Errors
+    ///
+    /// [`SlaveError::AddressOutOfRange`] or [`SlaveError::CorruptList`].
+    fn enqueue(&mut self, list: u16, element: u16) -> Result<(), SlaveError>;
+
+    /// Atomic dequeue of a named element (§5.1 primitive 3). A missing
+    /// element is a no-operation, as specified.
+    ///
+    /// # Errors
+    ///
+    /// [`SlaveError::AddressOutOfRange`] or [`SlaveError::CorruptList`].
+    fn dequeue(&mut self, list: u16, element: u16) -> Result<(), SlaveError>;
+
+    /// Atomic dequeue of the first element (§5.1 primitive 2); `None` when
+    /// the list is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`SlaveError::AddressOutOfRange`] or [`SlaveError::CorruptList`].
+    fn first(&mut self, list: u16) -> Result<Option<u16>, SlaveError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transaction_commands() {
+        assert_eq!(Transaction::SimpleRead { addr: 0 }.command(), Command::SimpleRead);
+        assert_eq!(
+            Transaction::WriteWord { addr: 0, value: 1 }.command(),
+            Command::WriteTwoBytes
+        );
+        assert_eq!(
+            Transaction::First { list: 0 }.command(),
+            Command::FirstControlBlock
+        );
+        assert_eq!(
+            Transaction::BlockTransfer {
+                addr: 0,
+                count: 4,
+                direction: BlockDirection::Read,
+                data: Vec::new()
+            }
+            .command(),
+            Command::BlockTransfer
+        );
+    }
+
+    #[test]
+    fn slave_error_display() {
+        let e = SlaveError::UnknownTag(Tag(3));
+        assert!(e.to_string().contains("tag3"));
+        let e = SlaveError::AddressOutOfRange { addr: 0x1_0000 };
+        assert!(e.to_string().contains("0x10000"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Timing-diagram rendering (Figures 5.4–5.16).
+//!
+//! The paper documents each smart bus transaction with a timing diagram of
+//! the protocol lines — `BBSY`, `IS`, `IK` and the multiplexed `A/D` bus.
+//! This module generates those diagrams from the same edge sequences the
+//! protocol engine executes, as ASCII waveforms:
+//!
+//! ```text
+//! BBSY ‾\__________________/‾
+//! IS   ‾‾‾\_______/‾‾‾‾‾‾‾‾‾‾
+//! IK   ‾‾‾‾‾\________/‾‾‾‾‾‾‾
+//! A/D  --<ADDR ><COUNT >-----
+//! ```
+//!
+//! Lines are active-low per §5.2: a one-to-zero transition *asserts*, a
+//! zero-to-one transition *releases*, and every protocol line returns to
+//! the released state at the end of a transaction.
+
+use crate::command::Command;
+
+/// One step of a protocol line's life: level plus an optional bus label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Level {
+    Released,
+    Asserted,
+}
+
+/// A named value on the A/D (or TG) bus during a span of edges.
+#[derive(Debug, Clone)]
+struct BusSpan {
+    start: usize,
+    end: usize,
+    label: &'static str,
+}
+
+/// A renderable timing diagram.
+#[derive(Debug, Clone)]
+pub struct TimingDiagram {
+    title: String,
+    edges: usize,
+    bbsy: Vec<(usize, Level)>,
+    is: Vec<(usize, Level)>,
+    ik: Vec<(usize, Level)>,
+    ad: Vec<BusSpan>,
+}
+
+impl TimingDiagram {
+    /// The timing diagram of a transaction's request handshake, per the
+    /// §5.3 figures. For the streaming data commands, `words` word
+    /// transfers are drawn (two edges each).
+    pub fn for_command(command: Command, words: usize) -> TimingDiagram {
+        match command {
+            Command::BlockTransfer
+            | Command::EnqueueControlBlock
+            | Command::DequeueControlBlock
+            | Command::WriteTwoBytes
+            | Command::WriteByte => four_edge(command),
+            Command::FirstControlBlock | Command::SimpleRead => eight_edge(command),
+            Command::BlockReadData | Command::BlockWriteData => streaming(command, words.max(1)),
+        }
+    }
+
+    /// Renders the diagram as ASCII art.
+    pub fn render(&self) -> String {
+        let width_per_edge = 4;
+        let total = self.edges * width_per_edge + 4;
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+
+        let render_line = |events: &[(usize, Level)]| -> String {
+            let mut s = String::with_capacity(total);
+            let mut level = Level::Released;
+            let mut iter = events.iter().peekable();
+            for col in 0..total {
+                let edge_here = iter.peek().map(|&&(e, _)| e * width_per_edge + 1 == col);
+                if edge_here == Some(true) {
+                    let (_, new) = *iter.next().expect("peeked");
+                    s.push(if new == Level::Asserted { '\\' } else { '/' });
+                    level = new;
+                } else {
+                    s.push(match level {
+                        Level::Released => '‾',
+                        Level::Asserted => '_',
+                    });
+                }
+            }
+            s
+        };
+
+        out.push_str(&format!("BBSY {}\n", render_line(&self.bbsy)));
+        out.push_str(&format!("IS   {}\n", render_line(&self.is)));
+        out.push_str(&format!("IK   {}\n", render_line(&self.ik)));
+
+        // A/D bus: labeled value spans.
+        let mut ad = vec!['-'; total];
+        for span in &self.ad {
+            let s = span.start * width_per_edge + 1;
+            let e = (span.end * width_per_edge + 1).min(total - 1);
+            if s + 1 >= e {
+                continue;
+            }
+            ad[s] = '<';
+            ad[e] = '>';
+            let mut label: Vec<char> = span.label.chars().collect();
+            label.truncate(e - s - 1);
+            for (i, c) in label.into_iter().enumerate() {
+                ad[s + 1 + i] = c;
+            }
+        }
+        out.push_str(&format!("A/D  {}\n", ad.into_iter().collect::<String>()));
+        // Edge ruler.
+        let mut ruler = vec![' '; total];
+        for e in 0..=self.edges {
+            let col = e * width_per_edge + 1;
+            if col < total {
+                ruler[col] = '|';
+            }
+        }
+        out.push_str(&format!("edge {}\n", ruler.into_iter().collect::<String>()));
+        out
+    }
+}
+
+/// Four-edge handshake (Figures 5.4, 5.10, 5.16): two values cross A/D.
+fn four_edge(command: Command) -> TimingDiagram {
+    let (a, b) = match command {
+        Command::BlockTransfer => ("ADDRESS", "COUNT"),
+        Command::EnqueueControlBlock | Command::DequeueControlBlock => ("LIST", "ELEMENT"),
+        _ => ("ADDRESS", "DATA"),
+    };
+    TimingDiagram {
+        title: format!("{command} — four-edge handshake"),
+        edges: 4,
+        bbsy: vec![(0, Level::Asserted), (4, Level::Released)],
+        is: vec![(1, Level::Asserted), (3, Level::Released)],
+        ik: vec![(2, Level::Asserted), (4, Level::Released)],
+        ad: vec![
+            BusSpan { start: 0, end: 2, label: a },
+            BusSpan { start: 2, end: 4, label: b },
+        ],
+    }
+}
+
+/// Eight-edge handshake (Figures 5.12, 5.14): request out, response back.
+fn eight_edge(command: Command) -> TimingDiagram {
+    let (req, rsp) = match command {
+        Command::FirstControlBlock => ("LIST", "FIRST"),
+        _ => ("ADDRESS", "DATA"),
+    };
+    TimingDiagram {
+        title: format!("{command} — eight-edge handshake"),
+        edges: 8,
+        bbsy: vec![(0, Level::Asserted), (8, Level::Released)],
+        is: vec![
+            (1, Level::Asserted),
+            (3, Level::Released),
+            (6, Level::Asserted),
+            (8, Level::Released),
+        ],
+        ik: vec![
+            (2, Level::Asserted),
+            (4, Level::Released),
+            (5, Level::Asserted),
+            (7, Level::Released),
+        ],
+        ad: vec![
+            BusSpan { start: 0, end: 3, label: req },
+            BusSpan { start: 5, end: 8, label: rsp },
+        ],
+    }
+}
+
+/// Streaming mode (Figures 5.6, 5.8): back-to-back word transfers, one per
+/// two edges, alternating strobe/acknowledge transitions.
+fn streaming(command: Command, words: usize) -> TimingDiagram {
+    let edges = words * 2;
+    let mut is = Vec::new();
+    let mut ik = Vec::new();
+    let mut ad = Vec::new();
+    // The driver of data alternates edges on its strobe line each word.
+    for w in 0..words {
+        let e = w * 2;
+        let (line, other): (&mut Vec<_>, &mut Vec<_>) = if command == Command::BlockReadData {
+            (&mut ik, &mut is)
+        } else {
+            (&mut is, &mut ik)
+        };
+        line.push((e, if w % 2 == 0 { Level::Asserted } else { Level::Released }));
+        other.push((e + 1, if w % 2 == 0 { Level::Asserted } else { Level::Released }));
+        ad.push(BusSpan { start: e, end: e + 2, label: "DATA" });
+    }
+    // Lines return released after an even number of transfers (§5.3.1 —
+    // which is why the bus grants two transfers at a time).
+    if words % 2 == 1 {
+        is.push((edges, Level::Released));
+        ik.push((edges, Level::Released));
+    }
+    TimingDiagram {
+        title: format!("{command} — streaming, {words} words"),
+        edges,
+        bbsy: vec![(0, Level::Asserted), (edges, Level::Released)],
+        is,
+        ik,
+        ad,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_edge_diagram_shape() {
+        let d = TimingDiagram::for_command(Command::BlockTransfer, 0);
+        let art = d.render();
+        assert!(art.contains("four-edge"));
+        assert!(art.contains("ADDRESS"));
+        assert!(art.contains("COUNT"));
+        // Assert/release pairs present on every protocol line.
+        for line in ["BBSY", "IS", "IK"] {
+            let row = art.lines().find(|l| l.starts_with(line)).unwrap();
+            assert!(row.contains('\\'), "{line} never asserted: {row}");
+            assert!(row.contains('/'), "{line} never released: {row}");
+        }
+    }
+
+    #[test]
+    fn eight_edge_diagram_has_request_and_response() {
+        let art = TimingDiagram::for_command(Command::FirstControlBlock, 0).render();
+        assert!(art.contains("LIST"));
+        assert!(art.contains("FIRST"));
+    }
+
+    #[test]
+    fn streaming_diagram_scales_with_words() {
+        let two = TimingDiagram::for_command(Command::BlockReadData, 2).render();
+        let six = TimingDiagram::for_command(Command::BlockReadData, 6).render();
+        assert!(six.lines().nth(1).unwrap().len() > two.lines().nth(1).unwrap().len());
+        assert!(six.matches("DATA").count() > two.matches("DATA").count());
+    }
+
+    #[test]
+    fn lines_end_released() {
+        // §5.2: at the end of each transaction the protocol lines return to
+        // the released state — the waveform's last column is high.
+        for c in Command::ALL {
+            let art = TimingDiagram::for_command(c, 4).render();
+            for name in ["BBSY", "IS  ", "IK  "] {
+                let row = art.lines().find(|l| l.starts_with(name.trim_end())).unwrap();
+                let last = row.chars().last().unwrap();
+                assert_eq!(last, '‾', "{c}: {name} ends {last} in\n{art}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_command_renders() {
+        for c in Command::ALL {
+            let art = TimingDiagram::for_command(c, 3).render();
+            assert!(art.lines().count() >= 5, "{c}");
+        }
+    }
+}

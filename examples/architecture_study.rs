@@ -1,0 +1,69 @@
+//! A miniature of the paper's Chapter 6 study: compares the four node
+//! architectures with both the analytical GTPN models and the discrete-event
+//! simulator, across communication-bound and computation-bound workloads.
+//!
+//! Run with: `cargo run --release --example architecture_study`
+
+use hsipc::archsim::timings::{offered_load, round_trip_us};
+use hsipc::archsim::{Architecture, Locality, Simulation, WorkloadSpec};
+use hsipc::models::local;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Round-trip communication time C (best case, host+MP, local):");
+    for arch in Architecture::ALL {
+        println!(
+            "  {:>16}: {:>5.0} us  (offered load at S=5.7ms: {:.3})",
+            arch.to_string(),
+            round_trip_us(arch, Locality::Local, false),
+            offered_load(arch, Locality::Local, 5_700.0),
+        );
+    }
+
+    println!("\nThroughput (conversations/ms), 3 local conversations:");
+    println!(
+        "  {:<18} {:>12} {:>12} {:>14}",
+        "", "model X=0", "DES X=0", "DES X=2.85ms"
+    );
+    for arch in Architecture::ALL {
+        let model = local::solve(arch, 3, 0.0)?;
+        let des0 = Simulation::new(arch, &spec(0.0)).run();
+        let des_x = Simulation::new(arch, &spec(2_850.0)).run();
+        println!(
+            "  {:<18} {:>12.4} {:>12.4} {:>14.4}",
+            arch.to_string(),
+            model.throughput_per_ms,
+            des0.throughput_per_ms,
+            des_x.throughput_per_ms,
+        );
+    }
+
+    println!("\nReadings (the paper's conclusions):");
+    let a1 = local::solve(Architecture::Uniprocessor, 3, 2_850.0)?;
+    let a2 = local::solve(Architecture::MessageCoprocessor, 3, 2_850.0)?;
+    let a3 = local::solve(Architecture::SmartBus, 3, 2_850.0)?;
+    let a4 = local::solve(Architecture::PartitionedSmartBus, 3, 2_850.0)?;
+    println!(
+        "  software partition (II vs I) at realistic load: {:.2}x (bound: 2x)",
+        a2.throughput_per_ms / a1.throughput_per_ms
+    );
+    println!(
+        "  smart bus on top (III vs II):                   {:.2}x",
+        a3.throughput_per_ms / a2.throughput_per_ms
+    );
+    println!(
+        "  partitioned bus (IV vs III):                    {:.2}x (memory is not the bottleneck)",
+        a4.throughput_per_ms / a3.throughput_per_ms
+    );
+    Ok(())
+}
+
+fn spec(x_us: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        conversations: 3,
+        server_compute_us: x_us,
+        locality: Locality::Local,
+        horizon_us: 3_000_000.0,
+        warmup_us: 300_000.0,
+        seed: 2,
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: a local rendezvous through the message kernel, then a quick
+//! look at what the message coprocessor buys.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hsipc::archsim::{Architecture, Locality, Simulation, WorkloadSpec};
+use hsipc::msgkernel::{Kernel, Message, NodeId, SendMode, ServiceAddr, Syscall};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. The message kernel: client/server rendezvous -----------------
+    let mut kernel = Kernel::new(NodeId(0), 16);
+    let client = kernel.create_task("client", 1, 256);
+    let server = kernel.create_task("server", 1, 256);
+    let svc = kernel.create_service("greeter");
+    let addr = ServiceAddr { node: kernel.node(), service: svc };
+
+    // The server advertises the service and posts a receive.
+    kernel.submit(server, Syscall::Offer { service: svc })?;
+    pump(&mut kernel);
+    kernel.submit(server, Syscall::Receive)?;
+    pump(&mut kernel);
+
+    // The client performs a blocking remote-invocation send.
+    kernel.submit(
+        client,
+        Syscall::Send { to: addr, message: Message::from_bytes(b"ping"), mode: SendMode::invocation() },
+    )?;
+    pump(&mut kernel);
+    let request = kernel.task(server)?.delivered.expect("rendezvous formed");
+    println!("server received: {:?}", &request.data[..4]);
+
+    kernel.submit(server, Syscall::Reply { message: Message::from_bytes(b"pong") })?;
+    pump(&mut kernel);
+    let reply = kernel.task(client)?.delivered.expect("reply delivered");
+    println!("client received: {:?}", &reply.data[..4]);
+    println!("kernel stats: {:?}\n", kernel.stats());
+
+    // --- 2. Does a message coprocessor help? -----------------------------
+    let spec = WorkloadSpec {
+        conversations: 3,
+        server_compute_us: 2_850.0,
+        locality: Locality::Local,
+        horizon_us: 2_000_000.0,
+        warmup_us: 200_000.0,
+        seed: 1,
+    };
+    println!("3 local conversations, 2.85 ms server compute each:");
+    for arch in Architecture::ALL {
+        let m = Simulation::new(arch, &spec).run();
+        println!(
+            "  {:>16}: {:.3} conversations/ms (round trip {:.0} us, host {:.0}% busy)",
+            arch.to_string(),
+            m.throughput_per_ms,
+            m.mean_round_trip_us,
+            100.0 * m.host_utilization,
+        );
+    }
+    Ok(())
+}
+
+/// Drains the communication list — plays the message coprocessor's role.
+fn pump(kernel: &mut Kernel) {
+    while let Some(task) = kernel.next_communication() {
+        kernel.process(task).expect("valid request");
+    }
+}

@@ -1,0 +1,86 @@
+//! Drives the smart bus cycle by cycle and prints the tenure trace:
+//! a network interface streams a long block into the smart memory while the
+//! message coprocessor's atomic queue operations preempt it between word
+//! pairs — the §5.2 guarantee that the bus is never locked for arbitrary
+//! time, with the memory's internal table restarting the preempted block.
+//!
+//! Run with: `cargo run --release --example smart_bus_trace`
+
+use hsipc::smartbus::{
+    BlockDirection, BusEngine, RequestNumber, Response, Transaction,
+};
+use hsipc::smartmem::SmartMemory;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut bus = BusEngine::new(SmartMemory::new(16 * 1024), RequestNumber::new(0));
+    // Priorities per the paper's organization: network devices above the
+    // processors would risk starving queue work; here the MP outranks the
+    // NIC so kernel queue manipulation slips between streaming word pairs.
+    let nic = bus.add_unit("network-interface", RequestNumber::new(2))?;
+    let mp = bus.add_unit("message-coprocessor", RequestNumber::new(5))?;
+    bus.enable_trace();
+
+    // The NIC starts writing a 64-byte packet into a kernel buffer.
+    let packet: Vec<u16> = (0x100..0x120).collect();
+    bus.submit(
+        nic,
+        Transaction::BlockTransfer {
+            addr: 0x1000,
+            count: 64,
+            direction: BlockDirection::Write,
+            data: packet,
+        },
+    )?;
+    // Let the stream get going: request handshake + three word pairs.
+    for _ in 0..4 {
+        bus.step()?;
+    }
+    // Mid-stream, the MP needs atomic queue work: it wins the next
+    // arbitrations and the block yields between word pairs.
+    bus.submit(mp, Transaction::Enqueue { list: 0x20, element: 0x200 })?;
+    bus.step()?;
+    bus.submit(mp, Transaction::First { list: 0x20 })?;
+    bus.step()?;
+    let completed = bus.run_until_idle()?;
+
+    println!("bus tenure trace:");
+    for e in bus.trace() {
+        let master = match e.master {
+            Some(u) if u == nic => "NIC",
+            Some(_) => "MP ",
+            None => "MEM",
+        };
+        println!(
+            "  t={:>6} ns  {master}  {:<22} {:>2} edges  {}",
+            e.at_ns,
+            e.command.to_string(),
+            e.edges,
+            e.detail
+        );
+    }
+
+    println!("\ncompletions:");
+    for c in bus.completed() {
+        println!(
+            "  {:?} -> {:?} (submitted {} ns, done {} ns)",
+            c.transaction.command().to_string(),
+            c.response,
+            c.submit_ns,
+            c.complete_ns
+        );
+    }
+
+    // The dequeued element is the one the MP enqueued, and the packet
+    // arrived intact despite the preemption.
+    let first = bus
+        .completed()
+        .iter()
+        .find(|c| matches!(c.response, Response::Element(_)))
+        .expect("first-control-block completed");
+    assert_eq!(first.response, Response::Element(Some(0x200)));
+    assert_eq!(completed.len(), 1, "the block is the last to finish");
+    let stored = bus.slave().memory().dump(0x1000, 4)?;
+    assert_eq!(stored, [0x00, 0x01, 0x01, 0x01]);
+    println!("\npacket bytes at 0x1000: {stored:?} — block survived preemption");
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! End-to-end reproduction checks: the paper's §6.10 conclusions must hold
+//! in both the analytical models and the discrete-event simulation.
+
+use hsipc::archsim::{Architecture, Locality, Simulation, WorkloadSpec};
+use hsipc::models::{local, nonlocal};
+
+fn des(arch: Architecture, n: usize, x: f64, locality: Locality) -> f64 {
+    let spec = WorkloadSpec {
+        conversations: n,
+        server_compute_us: x,
+        locality,
+        horizon_us: 3_000_000.0,
+        warmup_us: 300_000.0,
+        seed: 99,
+    };
+    Simulation::new(arch, &spec).run().throughput_per_ms
+}
+
+/// §6.10 (1): over a band of offered loads, the partition + smart bus beat
+/// the uniprocessor, in both model and simulation.
+#[test]
+fn conclusion_1_partition_and_smart_bus_win() {
+    let x = 2_850.0; // offered load ≈ 0.64 under architecture I (local)
+    for n in [2u32, 4] {
+        let a1 = local::solve(Architecture::Uniprocessor, n, x).unwrap().throughput_per_ms;
+        let a2 =
+            local::solve(Architecture::MessageCoprocessor, n, x).unwrap().throughput_per_ms;
+        let a3 = local::solve(Architecture::SmartBus, n, x).unwrap().throughput_per_ms;
+        assert!(a2 > a1 * 1.15, "n={n}: II {a2} vs I {a1}");
+        assert!(a3 > a2, "n={n}: III {a3} vs II {a2}");
+    }
+    let d1 = des(Architecture::Uniprocessor, 4, x, Locality::Local);
+    let d2 = des(Architecture::MessageCoprocessor, 4, x, Locality::Local);
+    let d3 = des(Architecture::SmartBus, 4, x, Locality::Local);
+    assert!(d2 > d1 * 1.15 && d3 > d2, "DES: {d1} {d2} {d3}");
+}
+
+/// §6.10 (2): one conversation pays a small partitioning tax; scaling is
+/// sublinear because the MP's bandwidth is finite.
+#[test]
+fn conclusion_2_small_single_conversation_loss_sublinear_scaling() {
+    let a1 = local::solve(Architecture::Uniprocessor, 1, 0.0).unwrap().throughput_per_ms;
+    let a2 = local::solve(Architecture::MessageCoprocessor, 1, 0.0).unwrap().throughput_per_ms;
+    let loss = 1.0 - a2 / a1;
+    assert!(loss > 0.0 && loss < 0.2, "loss {loss}");
+
+    let t1 = local::solve(Architecture::MessageCoprocessor, 1, 0.0).unwrap().throughput_per_ms;
+    let t2 = local::solve(Architecture::MessageCoprocessor, 2, 0.0).unwrap().throughput_per_ms;
+    let t4 = local::solve(Architecture::MessageCoprocessor, 4, 0.0).unwrap().throughput_per_ms;
+    assert!(t2 > t1 && t4 > t2, "throughput must grow: {t1} {t2} {t4}");
+    assert!(t4 < 4.0 * t1, "but sublinearly: {t4} vs 4x{t1}");
+    assert!(t4 - t2 < t2 - t1 + 1e-9, "with diminishing returns");
+}
+
+/// §6.10 (3): smart bus primitives help for non-local conversations too.
+#[test]
+fn conclusion_3_smart_bus_helps_nonlocal() {
+    let a1 = nonlocal::solve(Architecture::Uniprocessor, 2, 0.0).unwrap().throughput_per_ms;
+    let a3 = nonlocal::solve(Architecture::SmartBus, 2, 0.0).unwrap().throughput_per_ms;
+    assert!(a3 > a1 * 1.2, "III {a3} vs I {a1}");
+
+    let d1 = des(Architecture::Uniprocessor, 2, 0.0, Locality::NonLocal);
+    let d3 = des(Architecture::SmartBus, 2, 0.0, Locality::NonLocal);
+    assert!(d3 > d1 * 1.2, "DES: III {d3} vs I {d1}");
+}
+
+/// §6.10 (4): multiported/partitioned memory does not help significantly —
+/// processing, not shared-memory access, is the bottleneck.
+#[test]
+fn conclusion_4_partitioned_bus_marginal() {
+    for (n, x) in [(2u32, 0.0), (3, 1_140.0)] {
+        let a3 = local::solve(Architecture::SmartBus, n, x).unwrap().throughput_per_ms;
+        let a4 =
+            local::solve(Architecture::PartitionedSmartBus, n, x).unwrap().throughput_per_ms;
+        let gain = a4 / a3 - 1.0;
+        assert!(gain.abs() < 0.06, "n={n} x={x}: gain {gain}");
+    }
+}
+
+/// The region of operation: typical Unix service times map to offered loads
+/// where the coprocessor is worthwhile (§6.10 quotes 0.43–0.96 local).
+#[test]
+fn region_of_operation_covers_unix_services() {
+    use hsipc::archsim::timings::offered_load;
+    // Table 3.6 service times, µs.
+    for s in [200.0, 360.0, 3_453.0, 4_350.0, 6_100.0] {
+        let load = offered_load(Architecture::Uniprocessor, Locality::Local, s);
+        assert!(load > 0.40 && load <= 0.97, "s={s}: load {load}");
+    }
+}
+
+/// The validation exercise: model within the paper's error bands of the
+/// "experimental" simulation across conversations.
+#[test]
+fn validation_bands_hold() {
+    for n in [1u32, 2] {
+        let p = hsipc::models::validation::compare(n, 2_850.0, 7).unwrap();
+        assert!(
+            p.deviation() < 0.12,
+            "n={n}: model {} vs measured {}",
+            p.model_per_ms,
+            p.measured_per_ms
+        );
+    }
+}
