@@ -16,9 +16,7 @@
 //! * the [`netsim::TokenRing`] carrying one `send` and one `reply` packet
 //!   per conversation.
 
-use crate::timings::{
-    activity, Activity, ActivityKind, Architecture, Locality,
-};
+use crate::timings::{activity, Activity, ActivityKind, Architecture, Locality};
 use crate::WorkloadSpec;
 use msgkernel::{
     Kernel, KernelEvent, Message, NodeId, Packet, PacketBody, SendMode, ServiceAddr, Syscall,
@@ -74,7 +72,11 @@ enum ProcKind {
 #[derive(Debug, Clone)]
 enum Job {
     /// Timed activity followed by a kernel submission.
-    Syscall { task: TaskId, kind: ActivityKind, call: Syscall },
+    Syscall {
+        task: TaskId,
+        kind: ActivityKind,
+        call: Syscall,
+    },
     /// MP (or Architecture-I host) processing of a pending request.
     Process { task: TaskId, kind: ActivityKind },
     /// Matching client and server after a local rendezvous forms.
@@ -116,7 +118,9 @@ impl Proc {
     }
 
     fn pop(&mut self) -> Option<Job> {
-        self.interrupt_queue.pop_front().or_else(|| self.task_queue.pop_front())
+        self.interrupt_queue
+            .pop_front()
+            .or_else(|| self.task_queue.pop_front())
     }
 }
 
@@ -142,7 +146,10 @@ impl Node {
         }
         procs.insert(ProcKind::IoOut, Proc::new(1));
         procs.insert(ProcKind::IoIn, Proc::new(1));
-        Node { procs, running: HashMap::new() }
+        Node {
+            procs,
+            running: HashMap::new(),
+        }
     }
 }
 
@@ -156,7 +163,11 @@ enum LastCall {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    WorkDone { node: usize, proc: ProcKind, job_id: u64 },
+    WorkDone {
+        node: usize,
+        proc: ProcKind,
+        job_id: u64,
+    },
     Arrival,
 }
 
@@ -208,9 +219,12 @@ impl Simulation {
         assert!(hosts >= 1, "a node needs at least one host");
         let two_nodes = spec.locality == Locality::NonLocal;
         let node_count = if two_nodes { 2 } else { 1 };
-        let mut kernels: Vec<Kernel> =
-            (0..node_count).map(|i| Kernel::new(NodeId(i as u32), 64)).collect();
-        let nodes: Vec<Node> = (0..node_count).map(|_| Node::new(arch.has_mp(), hosts)).collect();
+        let mut kernels: Vec<Kernel> = (0..node_count)
+            .map(|i| Kernel::new(NodeId(i as u32), 64))
+            .collect();
+        let nodes: Vec<Node> = (0..node_count)
+            .map(|_| Node::new(arch.has_mp(), hosts))
+            .collect();
         let mut ring = TokenRing::default();
         for i in 0..node_count {
             ring.attach(RingNodeId(i as u32));
@@ -218,7 +232,10 @@ impl Simulation {
         let client_node = 0;
         let server_node = node_count - 1;
         let svc = kernels[server_node].create_service("workload");
-        let service = ServiceAddr { node: NodeId(server_node as u32), service: svc };
+        let service = ServiceAddr {
+            node: NodeId(server_node as u32),
+            service: svc,
+        };
 
         let mut sim = Simulation {
             arch,
@@ -262,13 +279,21 @@ impl Simulation {
             // Offers are issued once at startup; their cost is not part of
             // the steady-state conversation loop.
             self.kernels[self.server_node]
-                .submit(server, Syscall::Offer { service: self.service.service })
+                .submit(
+                    server,
+                    Syscall::Offer {
+                        service: self.service.service,
+                    },
+                )
                 .expect("fresh task");
             let t = self.kernels[self.server_node]
                 .next_communication()
                 .expect("offer pending");
-            self.last_call.insert((self.server_node, server), LastCall::Offer);
-            let events = self.kernels[self.server_node].process(t).expect("offer valid");
+            self.last_call
+                .insert((self.server_node, server), LastCall::Offer);
+            let events = self.kernels[self.server_node]
+                .process(t)
+                .expect("offer valid");
             self.apply_events(self.server_node, events, false);
         }
         for _ in 0..self.spec.conversations {
@@ -284,7 +309,10 @@ impl Simulation {
     /// Schedules `job` on the given processor; interrupt-initiated work goes
     /// to the priority queue.
     fn enqueue(&mut self, node: usize, proc: ProcKind, job: Job, interrupt: bool) {
-        let p = self.nodes[node].procs.get_mut(&proc).expect("processor exists");
+        let p = self.nodes[node]
+            .procs
+            .get_mut(&proc)
+            .expect("processor exists");
         if interrupt {
             p.interrupt_queue.push_back(job);
         } else {
@@ -318,13 +346,25 @@ impl Simulation {
                 activity(self.arch, Locality::Local, ActivityKind::Match)
             }
             Job::Compute { duration_us, .. } => {
-                return (*duration_us, BusShare { kb_rho: 0.0, tcb_rho: 0.0 });
+                return (
+                    *duration_us,
+                    BusShare {
+                        kb_rho: 0.0,
+                        tcb_rho: 0.0,
+                    },
+                );
             }
             Job::DmaOut { .. } => self.act(ActivityKind::DmaOut),
             Job::DmaIn { .. } => self.act(ActivityKind::DmaIn),
         };
         let Some(act) = act else {
-            return (0.0, BusShare { kb_rho: 0.0, tcb_rho: 0.0 });
+            return (
+                0.0,
+                BusShare {
+                    kb_rho: 0.0,
+                    tcb_rho: 0.0,
+                },
+            );
         };
         let (kb_i, tcb_i) = self.interference(node);
         let duration = if self.arch.partitioned() {
@@ -335,13 +375,19 @@ impl Simulation {
         let best = act.best_us().max(1e-9);
         // The KB/TCB split is tracked either way; for I-III the duration
         // formula above sums both against the single bus.
-        let share = BusShare { kb_rho: act.kb_us / best, tcb_rho: act.tcb_us / best };
+        let share = BusShare {
+            kb_rho: act.kb_us / best,
+            tcb_rho: act.tcb_us / best,
+        };
         (duration, share)
     }
 
     fn dispatch(&mut self, node: usize, proc: ProcKind) {
         loop {
-            let p = self.nodes[node].procs.get_mut(&proc).expect("processor exists");
+            let p = self.nodes[node]
+                .procs
+                .get_mut(&proc)
+                .expect("processor exists");
             if p.busy >= p.capacity {
                 return;
             }
@@ -356,13 +402,15 @@ impl Simulation {
             self.job_starts.insert(job_id, self.now_ns);
             let ev = self.seq;
             self.seq += 1;
-            self.events.insert(ev, Event::WorkDone { node, proc, job_id });
+            self.events
+                .insert(ev, Event::WorkDone { node, proc, job_id });
             self.queue.push(Reverse((at, ev, 0)));
         }
     }
 
     fn start_client_send(&mut self, client: TaskId) {
-        self.send_start_ns.insert((self.client_node, client), self.now_ns);
+        self.send_start_ns
+            .insert((self.client_node, client), self.now_ns);
         let call = Syscall::Send {
             to: self.service,
             message: Message::empty(),
@@ -371,7 +419,11 @@ impl Simulation {
         self.enqueue(
             self.client_node,
             ProcKind::Host,
-            Job::Syscall { task: client, kind: ActivityKind::SyscallSend, call },
+            Job::Syscall {
+                task: client,
+                kind: ActivityKind::SyscallSend,
+                call,
+            },
             false,
         );
     }
@@ -395,7 +447,9 @@ impl Simulation {
             // Architecture I: execute the kernel effects immediately; the
             // host time was already charged in the syscall activity.
             while let Some(task) = self.kernels[node].next_communication() {
-                let events = self.kernels[node].process(task).expect("valid workload request");
+                let events = self.kernels[node]
+                    .process(task)
+                    .expect("valid workload request");
                 self.apply_events(node, events, false);
             }
         }
@@ -413,11 +467,18 @@ impl Simulation {
                         self.enqueue(
                             node,
                             ProcKind::Host,
-                            Job::Restart { task: *server, kind: ActivityKind::RestartServer },
+                            Job::Restart {
+                                task: *server,
+                                kind: ActivityKind::RestartServer,
+                            },
                             false,
                         );
                     } else {
-                        let proc = if self.arch.has_mp() { ProcKind::Mp } else { ProcKind::Host };
+                        let proc = if self.arch.has_mp() {
+                            ProcKind::Mp
+                        } else {
+                            ProcKind::Host
+                        };
                         self.enqueue(node, proc, Job::Match { server: *server }, false);
                     }
                 }
@@ -426,12 +487,20 @@ impl Simulation {
                     self.enqueue(
                         node,
                         ProcKind::Host,
-                        Job::Restart { task: *client, kind: ActivityKind::RestartClient },
+                        Job::Restart {
+                            task: *client,
+                            kind: ActivityKind::RestartClient,
+                        },
                         false,
                     );
                 }
                 E::PacketOut(p) => {
-                    self.enqueue(node, ProcKind::IoOut, Job::DmaOut { packet: p.clone() }, false);
+                    self.enqueue(
+                        node,
+                        ProcKind::IoOut,
+                        Job::DmaOut { packet: p.clone() },
+                        false,
+                    );
                 }
                 _ => {}
             }
@@ -477,7 +546,10 @@ impl Simulation {
         self.nodes[node].running.remove(&job_id);
         let started = self.job_starts.remove(&job_id).expect("start recorded");
         {
-            let p = self.nodes[node].procs.get_mut(&proc).expect("processor exists");
+            let p = self.nodes[node]
+                .procs
+                .get_mut(&proc)
+                .expect("processor exists");
             p.busy -= 1;
             p.busy_ns += self.now_ns - started;
         }
@@ -508,7 +580,11 @@ impl Simulation {
         }
 
         match job {
-            Job::Syscall { task, kind: _, call } => {
+            Job::Syscall {
+                task,
+                kind: _,
+                call,
+            } => {
                 let last = match &call {
                     Syscall::Send { .. } => LastCall::Send,
                     Syscall::Receive => LastCall::Receive,
@@ -527,19 +603,28 @@ impl Simulation {
                 self.enqueue(
                     node,
                     ProcKind::Host,
-                    Job::Restart { task: server, kind: ActivityKind::RestartServer },
+                    Job::Restart {
+                        task: server,
+                        kind: ActivityKind::RestartServer,
+                    },
                     false,
                 );
             }
             Job::Restart { task, kind } => match kind {
                 ActivityKind::RestartServer => {
                     let x = self.spec.server_compute_us;
-                    let duration_us =
-                        if x <= 0.0 { 0.0 } else { self.rng.gen_range(0.5 * x..=1.5 * x) };
+                    let duration_us = if x <= 0.0 {
+                        0.0
+                    } else {
+                        self.rng.gen_range(0.5 * x..=1.5 * x)
+                    };
                     self.enqueue(
                         node,
                         ProcKind::Host,
-                        Job::Compute { server: task, duration_us },
+                        Job::Compute {
+                            server: task,
+                            duration_us,
+                        },
                         false,
                     );
                 }
@@ -574,7 +659,9 @@ impl Simulation {
                     Job::Syscall {
                         task: server,
                         kind: ActivityKind::SyscallReply,
-                        call: Syscall::Reply { message: Message::empty() },
+                        call: Syscall::Reply {
+                            message: Message::empty(),
+                        },
                     },
                     false,
                 );
@@ -596,11 +683,17 @@ impl Simulation {
                     PacketBody::SendMsg { .. } => ActivityKind::Match,
                     PacketBody::ReplyMsg { .. } => ActivityKind::CleanupClient,
                 };
-                let proc = if self.arch.has_mp() { ProcKind::Mp } else { ProcKind::Host };
+                let proc = if self.arch.has_mp() {
+                    ProcKind::Mp
+                } else {
+                    ProcKind::Host
+                };
                 self.enqueue(node, proc, Job::Interrupt { packet, kind }, true);
             }
             Job::Interrupt { packet, .. } => {
-                let events = self.kernels[node].handle_packet(packet).expect("routable packet");
+                let events = self.kernels[node]
+                    .handle_packet(packet)
+                    .expect("routable packet");
                 self.apply_events(node, events, true);
             }
         }
@@ -644,7 +737,14 @@ impl Simulation {
                     let deliveries = self.ring.poll(self.now_ns);
                     for d in deliveries {
                         let node = d.frame.to.0 as usize;
-                        self.enqueue(node, ProcKind::IoIn, Job::DmaIn { packet: d.frame.payload }, true);
+                        self.enqueue(
+                            node,
+                            ProcKind::IoIn,
+                            Job::DmaIn {
+                                packet: d.frame.payload,
+                            },
+                            true,
+                        );
                     }
                 }
             }
@@ -654,8 +754,10 @@ impl Simulation {
         let measured_us = measured_ns as f64 / US;
         let n = &self.nodes[self.server_node];
         let host_capacity = n.procs[&ProcKind::Host].capacity as u64;
-        let host_busy =
-            n.procs[&ProcKind::Host].busy_ns.saturating_sub(warm_host_busy) / host_capacity;
+        let host_busy = n.procs[&ProcKind::Host]
+            .busy_ns
+            .saturating_sub(warm_host_busy)
+            / host_capacity;
         let mp_busy = n
             .procs
             .get(&ProcKind::Mp)
@@ -703,7 +805,11 @@ mod tests {
             m.throughput_per_ms,
             expect
         );
-        assert!((m.mean_round_trip_us - c).abs() / c < 0.02, "rt {}", m.mean_round_trip_us);
+        assert!(
+            (m.mean_round_trip_us - c).abs() / c < 0.02,
+            "rt {}",
+            m.mean_round_trip_us
+        );
     }
 
     #[test]
@@ -711,8 +817,11 @@ mod tests {
         // §6.9.1: for one conversation the partition *loses* a little
         // (~10%) to host-MP information transfer.
         let m1 = Simulation::new(Architecture::Uniprocessor, &spec(1, 0.0, Locality::Local)).run();
-        let m2 =
-            Simulation::new(Architecture::MessageCoprocessor, &spec(1, 0.0, Locality::Local)).run();
+        let m2 = Simulation::new(
+            Architecture::MessageCoprocessor,
+            &spec(1, 0.0, Locality::Local),
+        )
+        .run();
         assert!(m2.throughput_per_ms < m1.throughput_per_ms);
         let loss = 1.0 - m2.throughput_per_ms / m1.throughput_per_ms;
         assert!(loss < 0.25, "loss {loss}");
@@ -724,8 +833,11 @@ mod tests {
         // multiple conversations outperform Architecture I.
         let x = 2_850.0;
         let m1 = Simulation::new(Architecture::Uniprocessor, &spec(4, x, Locality::Local)).run();
-        let m2 =
-            Simulation::new(Architecture::MessageCoprocessor, &spec(4, x, Locality::Local)).run();
+        let m2 = Simulation::new(
+            Architecture::MessageCoprocessor,
+            &spec(4, x, Locality::Local),
+        )
+        .run();
         assert!(
             m2.throughput_per_ms > m1.throughput_per_ms * 1.1,
             "arch2 {} vs arch1 {}",
@@ -755,8 +867,11 @@ mod tests {
         // §6.9.3: the partitioned bus does not help significantly — shared
         // memory access is not the bottleneck.
         let m3 = Simulation::new(Architecture::SmartBus, &spec(3, 0.0, Locality::Local)).run();
-        let m4 =
-            Simulation::new(Architecture::PartitionedSmartBus, &spec(3, 0.0, Locality::Local)).run();
+        let m4 = Simulation::new(
+            Architecture::PartitionedSmartBus,
+            &spec(3, 0.0, Locality::Local),
+        )
+        .run();
         let gain = m4.throughput_per_ms / m3.throughput_per_ms - 1.0;
         assert!(gain.abs() < 0.10, "gain {gain}");
         assert!(m4.throughput_per_ms >= m3.throughput_per_ms * 0.97);
@@ -872,7 +987,10 @@ mod tests {
         // Utilizations may exceed 1.0 by a hair: the job in flight at the
         // warm-up boundary is credited wholly to the measured window.
         assert!(m.host_utilization > 0.0 && m.host_utilization <= 1.01);
-        assert!(m.mp_utilization > 0.5, "MP should be the bottleneck at max load");
+        assert!(
+            m.mp_utilization > 0.5,
+            "MP should be the bottleneck at max load"
+        );
         assert!(m.mp_utilization <= 1.01, "mp {}", m.mp_utilization);
     }
 }

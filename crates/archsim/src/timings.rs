@@ -174,7 +174,16 @@ const fn act(
     tcb_us: f64,
     contention_us: f64,
 ) -> Activity {
-    Activity { action, kind, processor, initiator, processing_us, kb_us, tcb_us, contention_us }
+    Activity {
+        action,
+        kind,
+        processor,
+        initiator,
+        processing_us,
+        kb_us,
+        tcb_us,
+        contention_us,
+    }
 }
 
 use ActivityKind as K;
@@ -183,124 +192,835 @@ use Processor as P;
 
 /// Table 6.4 — Architecture I, local conversation.
 pub const ARCH1_LOCAL: &[Activity] = &[
-    act("1", K::SyscallSend, P::Host, I::Client, 1040.0, 0.0, 150.0, 1190.0),
-    act("2", K::SyscallReceive, P::Host, I::Server, 650.0, 0.0, 120.0, 770.0),
-    act("3", K::Match, P::Host, I::Kernel, 1240.0, 0.0, 140.0, 1380.0),
-    act("5", K::SyscallReply, P::Host, I::Server, 1020.0, 0.0, 210.0, 1230.0),
-    act("6", K::RestartServer, P::Host, I::Kernel, 140.0, 0.0, 60.0, 200.0),
-    act("7", K::RestartClient, P::Host, I::Kernel, 140.0, 0.0, 60.0, 200.0),
+    act(
+        "1",
+        K::SyscallSend,
+        P::Host,
+        I::Client,
+        1040.0,
+        0.0,
+        150.0,
+        1190.0,
+    ),
+    act(
+        "2",
+        K::SyscallReceive,
+        P::Host,
+        I::Server,
+        650.0,
+        0.0,
+        120.0,
+        770.0,
+    ),
+    act(
+        "3",
+        K::Match,
+        P::Host,
+        I::Kernel,
+        1240.0,
+        0.0,
+        140.0,
+        1380.0,
+    ),
+    act(
+        "5",
+        K::SyscallReply,
+        P::Host,
+        I::Server,
+        1020.0,
+        0.0,
+        210.0,
+        1230.0,
+    ),
+    act(
+        "6",
+        K::RestartServer,
+        P::Host,
+        I::Kernel,
+        140.0,
+        0.0,
+        60.0,
+        200.0,
+    ),
+    act(
+        "7",
+        K::RestartClient,
+        P::Host,
+        I::Kernel,
+        140.0,
+        0.0,
+        60.0,
+        200.0,
+    ),
 ];
 
 /// Table 6.6 — Architecture I, non-local conversation.
 pub const ARCH1_NONLOCAL: &[Activity] = &[
-    act("1", K::SyscallSend, P::Host, I::Client, 1140.0, 0.0, 150.0, 1314.9),
+    act(
+        "1",
+        K::SyscallSend,
+        P::Host,
+        I::Client,
+        1140.0,
+        0.0,
+        150.0,
+        1314.9,
+    ),
     act("2", K::DmaOut, P::Dma, I::Client, 200.0, 30.0, 0.0, 235.2),
-    act("3", K::SyscallReceive, P::Host, I::Server, 650.0, 0.0, 120.0, 790.7),
-    act("4", K::DmaIn, P::Dma, I::NetworkInterrupt, 200.0, 30.0, 0.0, 235.2),
-    act("4a", K::Match, P::Host, I::NetworkInterrupt, 1790.0, 0.0, 210.0, 2034.6),
-    act("4c", K::SyscallReply, P::Host, I::Server, 1060.0, 0.0, 220.0, 1318.5),
+    act(
+        "3",
+        K::SyscallReceive,
+        P::Host,
+        I::Server,
+        650.0,
+        0.0,
+        120.0,
+        790.7,
+    ),
+    act(
+        "4",
+        K::DmaIn,
+        P::Dma,
+        I::NetworkInterrupt,
+        200.0,
+        30.0,
+        0.0,
+        235.2,
+    ),
+    act(
+        "4a",
+        K::Match,
+        P::Host,
+        I::NetworkInterrupt,
+        1790.0,
+        0.0,
+        210.0,
+        2034.6,
+    ),
+    act(
+        "4c",
+        K::SyscallReply,
+        P::Host,
+        I::Server,
+        1060.0,
+        0.0,
+        220.0,
+        1318.5,
+    ),
     act("5", K::DmaOut, P::Dma, I::Server, 200.0, 30.0, 0.0, 235.2),
-    act("6", K::DmaIn, P::Dma, I::NetworkInterrupt, 200.0, 30.0, 0.0, 235.2),
-    act("7", K::CleanupClient, P::Host, I::NetworkInterrupt, 830.0, 0.0, 130.0, 982.0),
+    act(
+        "6",
+        K::DmaIn,
+        P::Dma,
+        I::NetworkInterrupt,
+        200.0,
+        30.0,
+        0.0,
+        235.2,
+    ),
+    act(
+        "7",
+        K::CleanupClient,
+        P::Host,
+        I::NetworkInterrupt,
+        830.0,
+        0.0,
+        130.0,
+        982.0,
+    ),
 ];
 
 /// Table 6.9 — Architecture II, local conversation.
 pub const ARCH2_LOCAL: &[Activity] = &[
-    act("1", K::SyscallSend, P::Host, I::Client, 320.0, 0.0, 78.0, 404.9),
-    act("2", K::ProcessSend, P::Mp, I::Client, 900.0, 0.0, 104.0, 1030.2),
-    act("3", K::SyscallReceive, P::Host, I::Server, 320.0, 0.0, 78.0, 404.9),
-    act("4", K::ProcessReceive, P::Mp, I::Server, 510.0, 0.0, 74.0, 603.0),
+    act(
+        "1",
+        K::SyscallSend,
+        P::Host,
+        I::Client,
+        320.0,
+        0.0,
+        78.0,
+        404.9,
+    ),
+    act(
+        "2",
+        K::ProcessSend,
+        P::Mp,
+        I::Client,
+        900.0,
+        0.0,
+        104.0,
+        1030.2,
+    ),
+    act(
+        "3",
+        K::SyscallReceive,
+        P::Host,
+        I::Server,
+        320.0,
+        0.0,
+        78.0,
+        404.9,
+    ),
+    act(
+        "4",
+        K::ProcessReceive,
+        P::Mp,
+        I::Server,
+        510.0,
+        0.0,
+        74.0,
+        603.0,
+    ),
     act("5", K::Match, P::Mp, I::Kernel, 1160.0, 0.0, 84.0, 1264.4),
-    act("6", K::RestartServer, P::Host, I::Server, 60.0, 0.0, 50.0, 115.4),
-    act("6b", K::SyscallReply, P::Host, I::Server, 320.0, 0.0, 78.0, 404.9),
-    act("7", K::ProcessReply, P::Mp, I::Server, 1060.0, 0.0, 182.0, 1289.8),
-    act("8", K::RestartServerAfterReply, P::Host, I::Kernel, 60.0, 0.0, 50.0, 115.4),
-    act("9", K::RestartClient, P::Host, I::Kernel, 60.0, 0.0, 50.0, 115.4),
+    act(
+        "6",
+        K::RestartServer,
+        P::Host,
+        I::Server,
+        60.0,
+        0.0,
+        50.0,
+        115.4,
+    ),
+    act(
+        "6b",
+        K::SyscallReply,
+        P::Host,
+        I::Server,
+        320.0,
+        0.0,
+        78.0,
+        404.9,
+    ),
+    act(
+        "7",
+        K::ProcessReply,
+        P::Mp,
+        I::Server,
+        1060.0,
+        0.0,
+        182.0,
+        1289.8,
+    ),
+    act(
+        "8",
+        K::RestartServerAfterReply,
+        P::Host,
+        I::Kernel,
+        60.0,
+        0.0,
+        50.0,
+        115.4,
+    ),
+    act(
+        "9",
+        K::RestartClient,
+        P::Host,
+        I::Kernel,
+        60.0,
+        0.0,
+        50.0,
+        115.4,
+    ),
 ];
 
 /// Table 6.11 — Architecture II, non-local conversation.
 pub const ARCH2_NONLOCAL: &[Activity] = &[
-    act("1", K::SyscallSend, P::Host, I::Client, 320.0, 0.0, 78.0, 426.8),
-    act("2", K::ProcessSend, P::Mp, I::Client, 1000.0, 0.0, 104.0, 1145.2),
+    act(
+        "1",
+        K::SyscallSend,
+        P::Host,
+        I::Client,
+        320.0,
+        0.0,
+        78.0,
+        426.8,
+    ),
+    act(
+        "2",
+        K::ProcessSend,
+        P::Mp,
+        I::Client,
+        1000.0,
+        0.0,
+        104.0,
+        1145.2,
+    ),
     act("2a", K::DmaOut, P::Dma, I::Client, 200.0, 30.0, 0.0, 240.9),
-    act("3", K::SyscallReceive, P::Host, I::Server, 320.0, 0.0, 78.0, 421.9),
-    act("4", K::ProcessReceive, P::Mp, I::Server, 510.0, 0.0, 74.0, 628.2),
-    act("5", K::DmaIn, P::Dma, I::NetworkInterrupt, 200.0, 30.0, 0.0, 247.8),
-    act("5m", K::Match, P::Mp, I::NetworkInterrupt, 1650.0, 0.0, 104.0, 1812.5),
-    act("6", K::RestartServer, P::Host, I::Server, 60.0, 0.0, 50.0, 128.6),
-    act("6b", K::SyscallReply, P::Host, I::Server, 320.0, 0.0, 78.0, 421.9),
-    act("7", K::ProcessReply, P::Mp, I::Server, 920.0, 0.0, 128.0, 1124.0),
+    act(
+        "3",
+        K::SyscallReceive,
+        P::Host,
+        I::Server,
+        320.0,
+        0.0,
+        78.0,
+        421.9,
+    ),
+    act(
+        "4",
+        K::ProcessReceive,
+        P::Mp,
+        I::Server,
+        510.0,
+        0.0,
+        74.0,
+        628.2,
+    ),
+    act(
+        "5",
+        K::DmaIn,
+        P::Dma,
+        I::NetworkInterrupt,
+        200.0,
+        30.0,
+        0.0,
+        247.8,
+    ),
+    act(
+        "5m",
+        K::Match,
+        P::Mp,
+        I::NetworkInterrupt,
+        1650.0,
+        0.0,
+        104.0,
+        1812.5,
+    ),
+    act(
+        "6",
+        K::RestartServer,
+        P::Host,
+        I::Server,
+        60.0,
+        0.0,
+        50.0,
+        128.6,
+    ),
+    act(
+        "6b",
+        K::SyscallReply,
+        P::Host,
+        I::Server,
+        320.0,
+        0.0,
+        78.0,
+        421.9,
+    ),
+    act(
+        "7",
+        K::ProcessReply,
+        P::Mp,
+        I::Server,
+        920.0,
+        0.0,
+        128.0,
+        1124.0,
+    ),
     act("7a", K::DmaOut, P::Dma, I::Server, 200.0, 30.0, 0.0, 247.8),
-    act("8", K::RestartServerAfterReply, P::Host, I::Kernel, 60.0, 0.0, 50.0, 128.6),
-    act("9", K::DmaIn, P::Dma, I::NetworkInterrupt, 200.0, 30.0, 0.0, 240.9),
-    act("9a", K::CleanupClient, P::Mp, I::NetworkInterrupt, 750.0, 0.0, 74.0, 853.2),
-    act("10", K::RestartClient, P::Host, I::Kernel, 60.0, 0.0, 50.0, 118.0),
+    act(
+        "8",
+        K::RestartServerAfterReply,
+        P::Host,
+        I::Kernel,
+        60.0,
+        0.0,
+        50.0,
+        128.6,
+    ),
+    act(
+        "9",
+        K::DmaIn,
+        P::Dma,
+        I::NetworkInterrupt,
+        200.0,
+        30.0,
+        0.0,
+        240.9,
+    ),
+    act(
+        "9a",
+        K::CleanupClient,
+        P::Mp,
+        I::NetworkInterrupt,
+        750.0,
+        0.0,
+        74.0,
+        853.2,
+    ),
+    act(
+        "10",
+        K::RestartClient,
+        P::Host,
+        I::Kernel,
+        60.0,
+        0.0,
+        50.0,
+        118.0,
+    ),
 ];
 
 /// Table 6.14 — Architecture III, local conversation.
 pub const ARCH3_LOCAL: &[Activity] = &[
-    act("1", K::SyscallSend, P::Host, I::Client, 220.0, 0.0, 52.0, 278.0),
-    act("2", K::ProcessSend, P::Mp, I::Client, 612.0, 0.0, 71.0, 700.9),
-    act("3", K::SyscallReceive, P::Host, I::Server, 220.0, 0.0, 52.0, 278.0),
-    act("4", K::ProcessReceive, P::Mp, I::Server, 451.0, 0.0, 61.0, 527.6),
+    act(
+        "1",
+        K::SyscallSend,
+        P::Host,
+        I::Client,
+        220.0,
+        0.0,
+        52.0,
+        278.0,
+    ),
+    act(
+        "2",
+        K::ProcessSend,
+        P::Mp,
+        I::Client,
+        612.0,
+        0.0,
+        71.0,
+        700.9,
+    ),
+    act(
+        "3",
+        K::SyscallReceive,
+        P::Host,
+        I::Server,
+        220.0,
+        0.0,
+        52.0,
+        278.0,
+    ),
+    act(
+        "4",
+        K::ProcessReceive,
+        P::Mp,
+        I::Server,
+        451.0,
+        0.0,
+        61.0,
+        527.6,
+    ),
     act("5", K::Match, P::Mp, I::Kernel, 922.0, 0.0, 61.0, 997.7),
-    act("6", K::RestartServer, P::Host, I::Server, 60.0, 0.0, 50.0, 117.2),
-    act("6b", K::SyscallReply, P::Host, I::Server, 220.0, 0.0, 52.0, 278.0),
-    act("7", K::ProcessReply, P::Mp, I::Server, 475.0, 0.0, 113.0, 619.0),
-    act("8", K::RestartServerAfterReply, P::Host, I::Kernel, 60.0, 0.0, 50.0, 117.2),
-    act("9", K::RestartClient, P::Host, I::Kernel, 60.0, 0.0, 50.0, 117.2),
+    act(
+        "6",
+        K::RestartServer,
+        P::Host,
+        I::Server,
+        60.0,
+        0.0,
+        50.0,
+        117.2,
+    ),
+    act(
+        "6b",
+        K::SyscallReply,
+        P::Host,
+        I::Server,
+        220.0,
+        0.0,
+        52.0,
+        278.0,
+    ),
+    act(
+        "7",
+        K::ProcessReply,
+        P::Mp,
+        I::Server,
+        475.0,
+        0.0,
+        113.0,
+        619.0,
+    ),
+    act(
+        "8",
+        K::RestartServerAfterReply,
+        P::Host,
+        I::Kernel,
+        60.0,
+        0.0,
+        50.0,
+        117.2,
+    ),
+    act(
+        "9",
+        K::RestartClient,
+        P::Host,
+        I::Kernel,
+        60.0,
+        0.0,
+        50.0,
+        117.2,
+    ),
 ];
 
 /// Table 6.16 — Architecture III, non-local conversation.
 pub const ARCH3_NONLOCAL: &[Activity] = &[
-    act("1", K::SyscallSend, P::Host, I::Client, 220.0, 0.0, 52.0, 284.5),
-    act("2", K::ProcessSend, P::Mp, I::Client, 712.0, 0.0, 71.0, 805.0),
+    act(
+        "1",
+        K::SyscallSend,
+        P::Host,
+        I::Client,
+        220.0,
+        0.0,
+        52.0,
+        284.5,
+    ),
+    act(
+        "2",
+        K::ProcessSend,
+        P::Mp,
+        I::Client,
+        712.0,
+        0.0,
+        71.0,
+        805.0,
+    ),
     act("2a", K::DmaOut, P::Dma, I::Client, 200.0, 15.0, 0.0, 219.4),
-    act("3", K::SyscallReceive, P::Host, I::Server, 220.0, 0.0, 52.0, 281.8),
-    act("4", K::ProcessReceive, P::Mp, I::Server, 451.0, 0.0, 61.0, 540.0),
-    act("5", K::DmaIn, P::Dma, I::NetworkInterrupt, 200.0, 15.0, 0.0, 222.1),
-    act("5m", K::Match, P::Mp, I::NetworkInterrupt, 1362.0, 0.0, 71.0, 1461.0),
-    act("6", K::RestartServer, P::Host, I::Server, 60.0, 0.0, 50.0, 121.5),
-    act("6b", K::SyscallReply, P::Host, I::Server, 220.0, 0.0, 52.0, 281.8),
-    act("7", K::ProcessReply, P::Mp, I::Server, 573.0, 0.0, 82.0, 690.0),
+    act(
+        "3",
+        K::SyscallReceive,
+        P::Host,
+        I::Server,
+        220.0,
+        0.0,
+        52.0,
+        281.8,
+    ),
+    act(
+        "4",
+        K::ProcessReceive,
+        P::Mp,
+        I::Server,
+        451.0,
+        0.0,
+        61.0,
+        540.0,
+    ),
+    act(
+        "5",
+        K::DmaIn,
+        P::Dma,
+        I::NetworkInterrupt,
+        200.0,
+        15.0,
+        0.0,
+        222.1,
+    ),
+    act(
+        "5m",
+        K::Match,
+        P::Mp,
+        I::NetworkInterrupt,
+        1362.0,
+        0.0,
+        71.0,
+        1461.0,
+    ),
+    act(
+        "6",
+        K::RestartServer,
+        P::Host,
+        I::Server,
+        60.0,
+        0.0,
+        50.0,
+        121.5,
+    ),
+    act(
+        "6b",
+        K::SyscallReply,
+        P::Host,
+        I::Server,
+        220.0,
+        0.0,
+        52.0,
+        281.8,
+    ),
+    act(
+        "7",
+        K::ProcessReply,
+        P::Mp,
+        I::Server,
+        573.0,
+        0.0,
+        82.0,
+        690.0,
+    ),
     act("7a", K::DmaOut, P::Dma, I::Server, 200.0, 15.0, 0.0, 222.1),
-    act("8", K::RestartServerAfterReply, P::Host, I::Kernel, 60.0, 0.0, 50.0, 121.5),
-    act("9", K::DmaIn, P::Dma, I::NetworkInterrupt, 200.0, 15.0, 0.0, 219.4),
-    act("9a", K::CleanupClient, P::Mp, I::NetworkInterrupt, 462.0, 0.0, 41.0, 514.0),
-    act("10", K::RestartClient, P::Host, I::Kernel, 60.0, 0.0, 50.0, 115.1),
+    act(
+        "8",
+        K::RestartServerAfterReply,
+        P::Host,
+        I::Kernel,
+        60.0,
+        0.0,
+        50.0,
+        121.5,
+    ),
+    act(
+        "9",
+        K::DmaIn,
+        P::Dma,
+        I::NetworkInterrupt,
+        200.0,
+        15.0,
+        0.0,
+        219.4,
+    ),
+    act(
+        "9a",
+        K::CleanupClient,
+        P::Mp,
+        I::NetworkInterrupt,
+        462.0,
+        0.0,
+        41.0,
+        514.0,
+    ),
+    act(
+        "10",
+        K::RestartClient,
+        P::Host,
+        I::Kernel,
+        60.0,
+        0.0,
+        50.0,
+        115.1,
+    ),
 ];
 
 /// Table 6.19 — Architecture IV, local conversation (KB/TCB split).
 pub const ARCH4_LOCAL: &[Activity] = &[
-    act("1", K::SyscallSend, P::Host, I::Client, 220.0, 0.0, 52.0, 273.7),
-    act("2", K::ProcessSend, P::Mp, I::Client, 612.0, 50.0, 21.0, 687.9),
-    act("3", K::SyscallReceive, P::Host, I::Server, 220.0, 0.0, 52.0, 273.7),
-    act("4", K::ProcessReceive, P::Mp, I::Server, 451.0, 40.0, 21.0, 516.9),
+    act(
+        "1",
+        K::SyscallSend,
+        P::Host,
+        I::Client,
+        220.0,
+        0.0,
+        52.0,
+        273.7,
+    ),
+    act(
+        "2",
+        K::ProcessSend,
+        P::Mp,
+        I::Client,
+        612.0,
+        50.0,
+        21.0,
+        687.9,
+    ),
+    act(
+        "3",
+        K::SyscallReceive,
+        P::Host,
+        I::Server,
+        220.0,
+        0.0,
+        52.0,
+        273.7,
+    ),
+    act(
+        "4",
+        K::ProcessReceive,
+        P::Mp,
+        I::Server,
+        451.0,
+        40.0,
+        21.0,
+        516.9,
+    ),
     act("5", K::Match, P::Mp, I::Kernel, 922.0, 60.0, 1.0, 983.2),
-    act("6", K::RestartServer, P::Host, I::Server, 60.0, 0.0, 50.0, 112.0),
-    act("6b", K::SyscallReply, P::Host, I::Server, 220.0, 0.0, 52.0, 273.7),
-    act("7", K::ProcessReply, P::Mp, I::Server, 475.0, 80.0, 33.0, 595.9),
-    act("8", K::RestartServerAfterReply, P::Host, I::Kernel, 60.0, 0.0, 50.0, 112.0),
-    act("9", K::RestartClient, P::Host, I::Kernel, 60.0, 0.0, 50.0, 112.0),
+    act(
+        "6",
+        K::RestartServer,
+        P::Host,
+        I::Server,
+        60.0,
+        0.0,
+        50.0,
+        112.0,
+    ),
+    act(
+        "6b",
+        K::SyscallReply,
+        P::Host,
+        I::Server,
+        220.0,
+        0.0,
+        52.0,
+        273.7,
+    ),
+    act(
+        "7",
+        K::ProcessReply,
+        P::Mp,
+        I::Server,
+        475.0,
+        80.0,
+        33.0,
+        595.9,
+    ),
+    act(
+        "8",
+        K::RestartServerAfterReply,
+        P::Host,
+        I::Kernel,
+        60.0,
+        0.0,
+        50.0,
+        112.0,
+    ),
+    act(
+        "9",
+        K::RestartClient,
+        P::Host,
+        I::Kernel,
+        60.0,
+        0.0,
+        50.0,
+        112.0,
+    ),
 ];
 
 /// Table 6.21 — Architecture IV, non-local conversation (KB/TCB split).
 pub const ARCH4_NONLOCAL: &[Activity] = &[
-    act("1", K::SyscallSend, P::Host, I::Client, 220.0, 0.0, 52.0, 273.2),
-    act("2", K::ProcessSend, P::Mp, I::Client, 712.0, 50.0, 21.0, 789.8),
+    act(
+        "1",
+        K::SyscallSend,
+        P::Host,
+        I::Client,
+        220.0,
+        0.0,
+        52.0,
+        273.2,
+    ),
+    act(
+        "2",
+        K::ProcessSend,
+        P::Mp,
+        I::Client,
+        712.0,
+        50.0,
+        21.0,
+        789.8,
+    ),
     act("2a", K::DmaOut, P::Dma, I::Client, 200.0, 15.0, 0.0, 216.3),
-    act("3", K::SyscallReceive, P::Host, I::Server, 220.0, 0.0, 52.0, 273.5),
-    act("4", K::ProcessReceive, P::Mp, I::Server, 451.0, 40.0, 21.0, 520.2),
-    act("5", K::DmaIn, P::Dma, I::NetworkInterrupt, 200.0, 15.0, 0.0, 216.3),
-    act("5m", K::Match, P::Mp, I::NetworkInterrupt, 1362.0, 40.0, 31.0, 1443.0),
-    act("6", K::RestartServer, P::Host, I::Server, 60.0, 0.0, 50.0, 111.8),
-    act("6b", K::SyscallReply, P::Host, I::Server, 220.0, 0.0, 52.0, 273.5),
-    act("7", K::ProcessReply, P::Mp, I::Server, 573.0, 50.0, 32.0, 666.6),
+    act(
+        "3",
+        K::SyscallReceive,
+        P::Host,
+        I::Server,
+        220.0,
+        0.0,
+        52.0,
+        273.5,
+    ),
+    act(
+        "4",
+        K::ProcessReceive,
+        P::Mp,
+        I::Server,
+        451.0,
+        40.0,
+        21.0,
+        520.2,
+    ),
+    act(
+        "5",
+        K::DmaIn,
+        P::Dma,
+        I::NetworkInterrupt,
+        200.0,
+        15.0,
+        0.0,
+        216.3,
+    ),
+    act(
+        "5m",
+        K::Match,
+        P::Mp,
+        I::NetworkInterrupt,
+        1362.0,
+        40.0,
+        31.0,
+        1443.0,
+    ),
+    act(
+        "6",
+        K::RestartServer,
+        P::Host,
+        I::Server,
+        60.0,
+        0.0,
+        50.0,
+        111.8,
+    ),
+    act(
+        "6b",
+        K::SyscallReply,
+        P::Host,
+        I::Server,
+        220.0,
+        0.0,
+        52.0,
+        273.5,
+    ),
+    act(
+        "7",
+        K::ProcessReply,
+        P::Mp,
+        I::Server,
+        573.0,
+        50.0,
+        32.0,
+        666.6,
+    ),
     act("7a", K::DmaOut, P::Dma, I::Server, 200.0, 15.0, 0.0, 216.3),
-    act("8", K::RestartServerAfterReply, P::Host, I::Kernel, 60.0, 0.0, 50.0, 111.8),
-    act("9", K::DmaIn, P::Dma, I::NetworkInterrupt, 200.0, 15.0, 0.0, 216.3),
-    act("9a", K::CleanupClient, P::Mp, I::NetworkInterrupt, 462.0, 40.0, 1.0, 506.4),
-    act("10", K::RestartClient, P::Host, I::Kernel, 60.0, 0.0, 50.0, 110.5),
+    act(
+        "8",
+        K::RestartServerAfterReply,
+        P::Host,
+        I::Kernel,
+        60.0,
+        0.0,
+        50.0,
+        111.8,
+    ),
+    act(
+        "9",
+        K::DmaIn,
+        P::Dma,
+        I::NetworkInterrupt,
+        200.0,
+        15.0,
+        0.0,
+        216.3,
+    ),
+    act(
+        "9a",
+        K::CleanupClient,
+        P::Mp,
+        I::NetworkInterrupt,
+        462.0,
+        40.0,
+        1.0,
+        506.4,
+    ),
+    act(
+        "10",
+        K::RestartClient,
+        P::Host,
+        I::Kernel,
+        60.0,
+        0.0,
+        50.0,
+        110.5,
+    ),
 ];
 
 /// The activity table for an (architecture, locality) pair.
@@ -318,8 +1038,14 @@ pub fn activity_table(arch: Architecture, locality: Locality) -> &'static [Activ
 }
 
 /// Looks up the activity of a semantic step, if the architecture has it.
-pub fn activity(arch: Architecture, locality: Locality, kind: ActivityKind) -> Option<&'static Activity> {
-    activity_table(arch, locality).iter().find(|a| a.kind == kind)
+pub fn activity(
+    arch: Architecture,
+    locality: Locality,
+    kind: ActivityKind,
+) -> Option<&'static Activity> {
+    activity_table(arch, locality)
+        .iter()
+        .find(|a| a.kind == kind)
 }
 
 /// Round-trip communication time `C` (µs) of one conversation — the
@@ -334,7 +1060,13 @@ pub fn round_trip_us(arch: Architecture, locality: Locality, contended: bool) ->
     activity_table(arch, locality)
         .iter()
         .filter(|a| a.processor != Processor::Dma)
-        .map(|a| if contended { a.contention_us } else { a.best_us() })
+        .map(|a| {
+            if contended {
+                a.contention_us
+            } else {
+                a.best_us()
+            }
+        })
         .sum()
 }
 
@@ -457,13 +1189,21 @@ mod tests {
 
     #[test]
     fn lookup_by_kind() {
-        let a = activity(Architecture::MessageCoprocessor, Locality::Local, ActivityKind::Match)
-            .unwrap();
+        let a = activity(
+            Architecture::MessageCoprocessor,
+            Locality::Local,
+            ActivityKind::Match,
+        )
+        .unwrap();
         assert_eq!(a.processor, Processor::Mp);
         assert_eq!(a.best_us(), 1244.0);
         // Architecture I has no MP processing step.
-        assert!(activity(Architecture::Uniprocessor, Locality::Local, ActivityKind::ProcessSend)
-            .is_none());
+        assert!(activity(
+            Architecture::Uniprocessor,
+            Locality::Local,
+            ActivityKind::ProcessSend
+        )
+        .is_none());
     }
 
     #[test]
@@ -482,9 +1222,6 @@ mod tests {
         assert!(!Architecture::Uniprocessor.has_mp());
         assert!(Architecture::SmartBus.has_mp());
         assert!(Architecture::PartitionedSmartBus.partitioned());
-        assert_eq!(
-            format!("{}", Architecture::SmartBus),
-            "Architecture III"
-        );
+        assert_eq!(format!("{}", Architecture::SmartBus), "Architecture III");
     }
 }

@@ -21,7 +21,11 @@ fn bench_architectures(c: &mut Criterion) {
     group.sample_size(20);
     for arch in Architecture::ALL {
         group.bench_function(format!("arch{}", arch.label()), |b| {
-            b.iter(|| Simulation::new(arch, &spec(Locality::Local)).run().completed)
+            b.iter(|| {
+                Simulation::new(arch, &spec(Locality::Local))
+                    .run()
+                    .completed
+            })
         });
     }
     group.finish();
@@ -30,7 +34,11 @@ fn bench_architectures(c: &mut Criterion) {
     group.sample_size(20);
     for arch in [Architecture::Uniprocessor, Architecture::SmartBus] {
         group.bench_function(format!("arch{}", arch.label()), |b| {
-            b.iter(|| Simulation::new(arch, &spec(Locality::NonLocal)).run().completed)
+            b.iter(|| {
+                Simulation::new(arch, &spec(Locality::NonLocal))
+                    .run()
+                    .completed
+            })
         });
     }
     group.finish();
@@ -39,8 +47,7 @@ fn bench_architectures(c: &mut Criterion) {
 fn bench_contention_model(c: &mut Criterion) {
     c.bench_function("models/contention_table6.2", |b| {
         b.iter(|| {
-            models::contention::completion_times(models::contention::TABLE_6_2)
-                .expect("mix solves")
+            models::contention::completion_times(models::contention::TABLE_6_2).expect("mix solves")
         })
     });
 }

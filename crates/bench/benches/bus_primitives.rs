@@ -9,7 +9,9 @@ use smartmem::SmartMemory;
 
 fn engine() -> (BusEngine<SmartMemory>, UnitId) {
     let mut bus = BusEngine::new(SmartMemory::new(64 * 1024), RequestNumber::new(7));
-    let mp = bus.add_unit("mp", RequestNumber::new(2)).expect("fresh engine");
+    let mp = bus
+        .add_unit("mp", RequestNumber::new(2))
+        .expect("fresh engine");
     (bus, mp)
 }
 
@@ -20,12 +22,19 @@ fn bench_queue_ops(c: &mut Criterion) {
             engine,
             |(mut bus, mp)| {
                 for i in 0..32u16 {
-                    bus.submit(mp, Transaction::Enqueue { list: 0x10, element: 0x100 + i * 2 })
-                        .expect("idle");
+                    bus.submit(
+                        mp,
+                        Transaction::Enqueue {
+                            list: 0x10,
+                            element: 0x100 + i * 2,
+                        },
+                    )
+                    .expect("idle");
                     bus.run_until_idle().expect("runs");
                 }
                 for _ in 0..32 {
-                    bus.submit(mp, Transaction::First { list: 0x10 }).expect("idle");
+                    bus.submit(mp, Transaction::First { list: 0x10 })
+                        .expect("idle");
                     bus.run_until_idle().expect("runs");
                 }
                 bus.time_ns()
@@ -38,15 +47,27 @@ fn bench_queue_ops(c: &mut Criterion) {
             || {
                 let (mut bus, mp) = engine();
                 for i in 0..64u16 {
-                    bus.submit(mp, Transaction::Enqueue { list: 0x10, element: 0x100 + i * 2 })
-                        .expect("idle");
+                    bus.submit(
+                        mp,
+                        Transaction::Enqueue {
+                            list: 0x10,
+                            element: 0x100 + i * 2,
+                        },
+                    )
+                    .expect("idle");
                     bus.run_until_idle().expect("runs");
                 }
                 (bus, mp)
             },
             |(mut bus, mp)| {
-                bus.submit(mp, Transaction::Dequeue { list: 0x10, element: 0x100 + 32 * 2 })
-                    .expect("idle");
+                bus.submit(
+                    mp,
+                    Transaction::Dequeue {
+                        list: 0x10,
+                        element: 0x100 + 32 * 2,
+                    },
+                )
+                .expect("idle");
                 bus.run_until_idle().expect("runs");
             },
             BatchSize::SmallInput,

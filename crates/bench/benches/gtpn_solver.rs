@@ -26,7 +26,11 @@ fn bench_reachability(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("archII_local_4conv_graph", |b| {
         let net = local::build(Architecture::MessageCoprocessor, 4, 0.0).expect("builds");
-        b.iter(|| net.reachability(2_000_000).expect("fits budget").state_count())
+        b.iter(|| {
+            net.reachability(2_000_000)
+                .expect("fits budget")
+                .state_count()
+        })
     });
     group.finish();
 }
@@ -41,13 +45,25 @@ fn bench_simulation(c: &mut Criterion) {
         let net = local::build(Architecture::MessageCoprocessor, 2, 0.0).expect("builds");
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(1);
-            simulate(&net, &SimOptions { horizon: 1_000_000, warmup: 100_000 }, &mut rng)
-                .expect("simulates")
-                .measured_time
+            simulate(
+                &net,
+                &SimOptions {
+                    horizon: 1_000_000,
+                    warmup: 100_000,
+                },
+                &mut rng,
+            )
+            .expect("simulates")
+            .measured_time
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_local_models, bench_reachability, bench_simulation);
+criterion_group!(
+    benches,
+    bench_local_models,
+    bench_reachability,
+    bench_simulation
+);
 criterion_main!(benches);

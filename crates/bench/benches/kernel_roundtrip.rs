@@ -18,8 +18,12 @@ fn local_pair() -> (Kernel, msgkernel::TaskId, msgkernel::TaskId, ServiceAddr) {
     let client = k.create_task("client", 1, 64);
     let server = k.create_task("server", 1, 64);
     let svc = k.create_service("bench");
-    let addr = ServiceAddr { node: k.node(), service: svc };
-    k.submit(server, Syscall::Offer { service: svc }).expect("fresh");
+    let addr = ServiceAddr {
+        node: k.node(),
+        service: svc,
+    };
+    k.submit(server, Syscall::Offer { service: svc })
+        .expect("fresh");
     drain(&mut k);
     (k, client, server, addr)
 }
@@ -34,11 +38,21 @@ fn bench_local_round_trip(c: &mut Criterion) {
                     drain(&mut k);
                     k.submit(
                         client,
-                        Syscall::Send { to: addr, message: Message::empty(), mode: SendMode::invocation() },
+                        Syscall::Send {
+                            to: addr,
+                            message: Message::empty(),
+                            mode: SendMode::invocation(),
+                        },
                     )
                     .expect("idle");
                     drain(&mut k);
-                    k.submit(server, Syscall::Reply { message: Message::empty() }).expect("idle");
+                    k.submit(
+                        server,
+                        Syscall::Reply {
+                            message: Message::empty(),
+                        },
+                    )
+                    .expect("idle");
                     drain(&mut k);
                 }
                 k.stats().replies
@@ -57,7 +71,8 @@ fn bench_cross_node_round_trip(c: &mut Criterion) {
                 let client = a.create_task("client", 1, 64);
                 let server = bk.create_task("server", 1, 64);
                 let svc = bk.create_service("bench");
-                bk.submit(server, Syscall::Offer { service: svc }).expect("fresh");
+                bk.submit(server, Syscall::Offer { service: svc })
+                    .expect("fresh");
                 drain(&mut bk);
                 (a, bk, client, server, svc)
             },
@@ -68,7 +83,10 @@ fn bench_cross_node_round_trip(c: &mut Criterion) {
                     a.submit(
                         client,
                         Syscall::Send {
-                            to: ServiceAddr { node: NodeId(1), service: svc },
+                            to: ServiceAddr {
+                                node: NodeId(1),
+                                service: svc,
+                            },
                             message: Message::empty(),
                             mode: SendMode::invocation(),
                         },
@@ -83,7 +101,13 @@ fn bench_cross_node_round_trip(c: &mut Criterion) {
                         })
                         .expect("send packet");
                     bk.handle_packet(packet).expect("routable");
-                    bk.submit(server, Syscall::Reply { message: Message::empty() }).expect("idle");
+                    bk.submit(
+                        server,
+                        Syscall::Reply {
+                            message: Message::empty(),
+                        },
+                    )
+                    .expect("idle");
                     let events = drain(&mut bk);
                     let packet = events
                         .into_iter()

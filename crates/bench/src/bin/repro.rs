@@ -1,13 +1,35 @@
 //! Regenerates the paper's tables and figures. See `bench` crate docs.
+//!
+//! Experiments run through the sweep engine: the requested ids are a grid
+//! whose points execute on a worker pool, and each swept experiment fans
+//! its own points out on the same policy. Output is printed in request
+//! order and is byte-identical to a sequential run (`--sequential` or
+//! `HSIPC_SWEEP=seq` forces one; `RAYON_NUM_THREADS` / `HSIPC_SWEEP_THREADS`
+//! set the worker count).
 
 use std::process::ExitCode;
+use std::time::Instant;
+use sweep::ExecMode;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = sweep::exec_mode();
+    let mut timing = false;
+    args.retain(|a| match a.as_str() {
+        "--sequential" | "--seq" => {
+            mode = ExecMode::Sequential;
+            false
+        }
+        "--timing" => {
+            timing = true;
+            false
+        }
+        _ => true,
+    });
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: repro [list | all | <experiment-id>...]");
+        eprintln!("usage: repro [--sequential] [--timing] [list | all | <experiment-id>...]");
         eprintln!("experiment ids: table3.1..table3.7, table5.1, table5.2,");
-        eprintln!("  table6.1, table6.2, table6.4..table6.25, fig6.7..fig6.23");
+        eprintln!("  table6.1, table6.2, table6.4..table6.25, fig6.7..fig6.23, fig7.1");
         return ExitCode::from(2);
     }
     if args[0] == "list" {
@@ -17,21 +39,40 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let ids: Vec<String> = if args[0] == "all" {
-        hsipc::experiments::all().iter().map(|e| e.id.to_string()).collect()
+        hsipc::experiments::all()
+            .iter()
+            .map(|e| e.id.to_string())
+            .collect()
     } else {
         args
     };
+
+    let threads = sweep::thread_count();
+    let started = Instant::now();
+    // One grid point per experiment; each result slot comes back in request
+    // order no matter which worker produced it. Swept experiments fan out
+    // their own points on the same pool policy.
+    let grid = sweep::Grid::new(ids);
+    let results = grid.eval_with(mode, threads, |id| {
+        hsipc::experiments::run_with(id, mode, threads)
+    });
+
     let mut failed = false;
-    for id in ids {
-        match hsipc::experiments::run(&id) {
-            Some(output) => {
-                println!("{output}");
-            }
+    for (id, result) in grid.points().iter().zip(results) {
+        match result {
+            Some(output) => println!("{output}"),
             None => {
                 eprintln!("unknown experiment `{id}` (try `repro list`)");
                 failed = true;
             }
         }
+    }
+    if timing {
+        eprintln!(
+            "repro: {} experiment(s) in {:.2?} ({mode:?}, {threads} thread(s))",
+            grid.len(),
+            started.elapsed()
+        );
     }
     if failed {
         ExitCode::FAILURE

@@ -9,7 +9,8 @@ const ROUND_TRIPS: u64 = 200;
 
 fn breakdown_table(spec: &KernelSpec, paper_table: &str) -> String {
     let b = KernelRun::new(spec).execute(ROUND_TRIPS).breakdown();
-    let title = format!(
+    let title =
+        format!(
         "{paper_table} — {} Profiling\n{}\nRound Trip ({}) = {:.3} ms ({} bytes)  Copy = {:.3} ms",
         b.system,
         b.processor,
@@ -21,7 +22,13 @@ fn breakdown_table(spec: &KernelSpec, paper_table: &str) -> String {
     let rows: Vec<Vec<String>> = b
         .rows
         .iter()
-        .map(|r| vec![r.name.to_string(), format!("{:.3}", r.time_ms), format!("{:.1}", r.percent)])
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{:.3}", r.time_ms),
+                format!("{:.1}", r.percent),
+            ]
+        })
         .collect();
     let mut out = render_table(&title, &["Activity", "Time (ms)", "% of RT"], &rows);
     out.push_str(&format!(
@@ -100,10 +107,12 @@ pub fn table_3_7() -> String {
 pub fn fig_3_msgpath() -> String {
     use profiler::msgpath::MessagePath;
     let path = MessagePath::unix_transmit();
-    let mut out = String::from(
-        "S3.3 measurement 3 — Message-path time-stamping (Unix transmit route)\n\n",
-    );
-    for (label, interarrival) in [("light load (10 ms apart)", 10_000u64), ("saturating (0.7 ms apart)", 700)] {
+    let mut out =
+        String::from("S3.3 measurement 3 — Message-path time-stamping (Unix transmit route)\n\n");
+    for (label, interarrival) in [
+        ("light load (10 ms apart)", 10_000u64),
+        ("saturating (0.7 ms apart)", 700),
+    ] {
         let r = path.report(300, interarrival);
         out.push_str(&format!(
             "{label}: mean latency {:.0} us, bottleneck queue: {}\n",

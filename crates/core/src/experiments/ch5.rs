@@ -4,9 +4,7 @@
 use super::render_table;
 use smartbus::signal::Signal;
 use smartbus::waveform::TimingDiagram;
-use smartbus::{
-    BlockDirection, BusEngine, Command, RequestNumber, Transaction,
-};
+use smartbus::{BlockDirection, BusEngine, Command, RequestNumber, Transaction};
 use smartmem::SmartMemory;
 
 /// Table 5.1 — smart bus signals.
@@ -14,10 +12,18 @@ pub fn table_5_1() -> String {
     let rows: Vec<Vec<String>> = Signal::ALL
         .iter()
         .map(|s| {
-            vec![s.mnemonic().to_string(), s.line_count().to_string(), s.description().to_string()]
+            vec![
+                s.mnemonic().to_string(),
+                s.line_count().to_string(),
+                s.description().to_string(),
+            ]
         })
         .collect();
-    render_table("Table 5.1 — Smart Bus Signals", &["Signal", "Lines", "Description"], &rows)
+    render_table(
+        "Table 5.1 — Smart Bus Signals",
+        &["Signal", "Lines", "Description"],
+        &rows,
+    )
 }
 
 /// Table 5.2 — smart bus commands, with the handshake cost each incurs on
@@ -41,8 +47,17 @@ pub fn table_5_2() -> String {
     );
     // Demonstrate the headline transaction timings on the live simulator.
     let mut bus = BusEngine::new(SmartMemory::new(4096), RequestNumber::new(7));
-    let mp = bus.add_unit("mp", RequestNumber::new(2)).expect("fresh engine");
-    bus.submit(mp, Transaction::Enqueue { list: 0x20, element: 0x100 }).expect("idle unit");
+    let mp = bus
+        .add_unit("mp", RequestNumber::new(2))
+        .expect("fresh engine");
+    bus.submit(
+        mp,
+        Transaction::Enqueue {
+            list: 0x20,
+            element: 0x100,
+        },
+    )
+    .expect("idle unit");
     bus.run_until_idle().expect("valid transaction");
     let enq_ns = bus.time_ns();
     bus.submit(
@@ -80,7 +95,9 @@ mod tests {
     #[test]
     fn signals_table_lists_all_ten() {
         let t = super::table_5_1();
-        for m in ["A/D", "TG", "CM", "IS", "IK", "BBSY", "BR", "AR", "ANC", "CLR"] {
+        for m in [
+            "A/D", "TG", "CM", "IS", "IK", "BBSY", "BR", "AR", "ANC", "CLR",
+        ] {
             assert!(t.contains(m), "missing {m} in {t}");
         }
     }

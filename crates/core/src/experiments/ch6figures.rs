@@ -1,9 +1,18 @@
 //! Chapter 6 figures: throughput series from the GTPN models and the
 //! discrete-event "experiment".
+//!
+//! Every figure is a grid of independent model solves (or DES runs), so
+//! each is expressed as a [`sweep`] grid: points are laid out in *paper
+//! order* — the order rows appear in the rendered table — evaluated under
+//! the engine's execution policy, and reassembled positionally. The
+//! rendered text is byte-identical whether the grid runs sequentially or
+//! on a worker pool; the `*_with` variants take an explicit mode so the
+//! identity is testable.
 
 use super::render_table;
 use archsim::timings::{Architecture, Locality};
 use models::{local, nonlocal, offered, validation};
+use sweep::{ExecMode, Grid};
 
 /// Conversation counts the paper plots (1–4; its tools could not go
 /// further, §6.9.2).
@@ -12,6 +21,12 @@ const CONVERSATIONS: [u32; 4] = [1, 2, 3, 4];
 /// Offered-load sweep (architecture-I axis) used by the realistic-workload
 /// figures.
 const LOAD_SWEEP: [f64; 7] = [0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4];
+
+/// The environment's execution policy, for the registry's `fn() -> String`
+/// entries.
+fn env_exec() -> (ExecMode, usize) {
+    (sweep::exec_mode(), sweep::thread_count())
+}
 
 /// Figure 6.7 — the geometric approximation of a large constant delay
 /// preserves mean throughput.
@@ -23,7 +38,11 @@ pub fn fig_6_7() -> String {
     let p = constant.add_place("P", 1);
     constant
         .add_transition(
-            Transition::new("T").delay(delay).resource("lambda").input(p, 1).output(p, 1),
+            Transition::new("T")
+                .delay(delay)
+                .resource("lambda")
+                .input(p, 1)
+                .output(p, 1),
         )
         .expect("place exists");
     let exact = constant
@@ -59,20 +78,36 @@ pub fn fig_6_7() -> String {
 /// Figure 6.15 — validation: GTPN model vs the discrete-event experiment,
 /// architecture II non-local, 1–4 conversations at three compute levels.
 pub fn fig_6_15() -> String {
-    let mut rows = Vec::new();
+    let (mode, threads) = env_exec();
+    fig_6_15_with(mode, threads)
+}
+
+/// [`fig_6_15`] under an explicit execution mode.
+pub fn fig_6_15_with(mode: ExecMode, threads: usize) -> String {
+    let mut points = Vec::new();
     for &n in &CONVERSATIONS {
         for (i, server_us) in [570.0, 2_850.0, 11_400.0].into_iter().enumerate() {
-            let p = validation::compare(n, server_us, 40 + n as u64 + i as u64)
-                .expect("validation point solves");
-            rows.push(vec![
-                n.to_string(),
-                format!("{:.2}", server_us / 1_000.0),
-                format!("{:.4}", p.model_per_ms),
-                format!("{:.4}", p.measured_per_ms),
-                format!("{:+.1}%", 100.0 * (p.model_per_ms - p.measured_per_ms) / p.measured_per_ms),
-            ]);
+            points.push((n, i, server_us));
         }
     }
+    let grid = Grid::new(points);
+    let rows = grid.eval_with(mode, threads, |&(n, i, server_us)| {
+        // Each DES replication seeds from its grid coordinates — never from
+        // a shared RNG — so results are identical no matter which worker
+        // runs the point or in what order.
+        let seed = sweep::point_seed("fig6.15", &[u64::from(n), i as u64]);
+        let p = validation::compare(n, server_us, seed).expect("validation point solves");
+        vec![
+            n.to_string(),
+            format!("{:.2}", server_us / 1_000.0),
+            format!("{:.4}", p.model_per_ms),
+            format!("{:.4}", p.measured_per_ms),
+            format!(
+                "{:+.1}%",
+                100.0 * (p.model_per_ms - p.measured_per_ms) / p.measured_per_ms
+            ),
+        ]
+    });
     render_table(
         "Figure 6.15 — Model Validation (Architecture II, non-local)",
         &["Conv", "Server (ms)", "Model (/ms)", "Measured (/ms)", "Δ"],
@@ -80,51 +115,88 @@ pub fn fig_6_15() -> String {
     )
 }
 
-fn max_load(archs: &[Architecture], locality: Locality, title: &str) -> String {
-    let mut rows = Vec::new();
-    for &n in &CONVERSATIONS {
-        let mut cells = vec![n.to_string()];
-        for &arch in archs {
-            let t = match locality {
-                Locality::Local => local::solve(arch, n, 0.0).expect("local model solves").throughput_per_ms,
-                Locality::NonLocal => {
-                    nonlocal::solve(arch, n, 0.0).expect("non-local model solves").throughput_per_ms
-                }
-            };
-            cells.push(format!("{t:.4}"));
+/// One max-load or realistic-workload model solve: the slow kernel every
+/// figure grid point runs.
+fn solve_throughput(arch: Architecture, locality: Locality, n: u32, server_us: f64) -> f64 {
+    match locality {
+        Locality::Local => {
+            local::solve(arch, n, server_us)
+                .expect("local model solves")
+                .throughput_per_ms
         }
-        rows.push(cells);
+        Locality::NonLocal => {
+            nonlocal::solve(arch, n, server_us)
+                .expect("non-local model solves")
+                .throughput_per_ms
+        }
     }
+}
+
+fn max_load(
+    mode: ExecMode,
+    threads: usize,
+    archs: &[Architecture],
+    locality: Locality,
+    title: &str,
+) -> String {
+    let grid = sweep::cartesian(&CONVERSATIONS, archs);
+    let cells = grid.eval_with(mode, threads, |&(n, arch)| {
+        format!("{:.4}", solve_throughput(arch, locality, n, 0.0))
+    });
+    let rows: Vec<Vec<String>> = CONVERSATIONS
+        .iter()
+        .zip(cells.chunks(archs.len()))
+        .map(|(n, chunk)| {
+            let mut row = vec![n.to_string()];
+            row.extend_from_slice(chunk);
+            row
+        })
+        .collect();
     let mut header: Vec<&str> = vec!["Conversations"];
-    let labels: Vec<String> =
-        archs.iter().map(|a| format!("Arch {} (/ms)", a.label())).collect();
+    let labels: Vec<String> = archs
+        .iter()
+        .map(|a| format!("Arch {} (/ms)", a.label()))
+        .collect();
     header.extend(labels.iter().map(String::as_str));
     render_table(title, &header, &rows)
 }
 
-fn realistic(archs: &[Architecture], locality: Locality, title: &str) -> String {
-    let mut rows = Vec::new();
+fn realistic(
+    mode: ExecMode,
+    threads: usize,
+    archs: &[Architecture],
+    locality: Locality,
+    title: &str,
+) -> String {
+    let mut points = Vec::new();
     for &load in &LOAD_SWEEP {
         let server_us = offered::server_time_for_load_arch1(locality, load);
         for &n in &[1u32, 4] {
-            let mut cells = vec![format!("{load:.2}"), n.to_string()];
             for &arch in archs {
-                let t = match locality {
-                    Locality::Local => {
-                        local::solve(arch, n, server_us).expect("local model solves").throughput_per_ms
-                    }
-                    Locality::NonLocal => nonlocal::solve(arch, n, server_us)
-                        .expect("non-local model solves")
-                        .throughput_per_ms,
-                };
-                cells.push(format!("{t:.4}"));
+                points.push((load, server_us, n, arch));
             }
-            rows.push(cells);
         }
     }
+    let grid = Grid::new(points);
+    let cells = grid.eval_with(mode, threads, |&(_, server_us, n, arch)| {
+        format!("{:.4}", solve_throughput(arch, locality, n, server_us))
+    });
+    let rows: Vec<Vec<String>> = grid
+        .points()
+        .chunks(archs.len())
+        .zip(cells.chunks(archs.len()))
+        .map(|(pts, chunk)| {
+            let (load, _, n, _) = pts[0];
+            let mut row = vec![format!("{load:.2}"), n.to_string()];
+            row.extend_from_slice(chunk);
+            row
+        })
+        .collect();
     let mut header: Vec<&str> = vec!["Load(I)", "Conv"];
-    let labels: Vec<String> =
-        archs.iter().map(|a| format!("Arch {} (/ms)", a.label())).collect();
+    let labels: Vec<String> = archs
+        .iter()
+        .map(|a| format!("Arch {} (/ms)", a.label()))
+        .collect();
     header.extend(labels.iter().map(String::as_str));
     render_table(title, &header, &rows)
 }
@@ -134,18 +206,27 @@ const MAIN_THREE: [Architecture; 3] = [
     Architecture::MessageCoprocessor,
     Architecture::SmartBus,
 ];
-const THREE_FOUR: [Architecture; 2] =
-    [Architecture::SmartBus, Architecture::PartitionedSmartBus];
+const THREE_FOUR: [Architecture; 2] = [Architecture::SmartBus, Architecture::PartitionedSmartBus];
 
 /// Figure 6.17(a, b) — maximum communication load.
 pub fn fig_6_17() -> String {
+    let (mode, threads) = env_exec();
+    fig_6_17_with(mode, threads)
+}
+
+/// [`fig_6_17`] under an explicit execution mode.
+pub fn fig_6_17_with(mode: ExecMode, threads: usize) -> String {
     let mut out = max_load(
+        mode,
+        threads,
         &MAIN_THREE,
         Locality::Local,
         "Figure 6.17(a) — Maximum Communication Load (Local)",
     );
     out.push('\n');
     out.push_str(&max_load(
+        mode,
+        threads,
         &MAIN_THREE,
         Locality::NonLocal,
         "Figure 6.17(b) — Maximum Communication Load (Non-local)",
@@ -155,49 +236,134 @@ pub fn fig_6_17() -> String {
 
 /// Figure 6.18 — realistic workload, local.
 pub fn fig_6_18() -> String {
-    realistic(&MAIN_THREE, Locality::Local, "Figure 6.18 — Realistic Workload (Local)")
+    let (mode, threads) = env_exec();
+    fig_6_18_with(mode, threads)
+}
+
+/// [`fig_6_18`] under an explicit execution mode.
+pub fn fig_6_18_with(mode: ExecMode, threads: usize) -> String {
+    realistic(
+        mode,
+        threads,
+        &MAIN_THREE,
+        Locality::Local,
+        "Figure 6.18 — Realistic Workload (Local)",
+    )
 }
 
 /// Figure 6.19 — realistic workload, non-local.
 pub fn fig_6_19() -> String {
-    realistic(&MAIN_THREE, Locality::NonLocal, "Figure 6.19 — Realistic Workload (Non-local)")
+    let (mode, threads) = env_exec();
+    fig_6_19_with(mode, threads)
+}
+
+/// [`fig_6_19`] under an explicit execution mode.
+pub fn fig_6_19_with(mode: ExecMode, threads: usize) -> String {
+    realistic(
+        mode,
+        threads,
+        &MAIN_THREE,
+        Locality::NonLocal,
+        "Figure 6.19 — Realistic Workload (Non-local)",
+    )
 }
 
 /// Figure 6.20 — maximum load, III vs IV, local.
 pub fn fig_6_20() -> String {
-    max_load(&THREE_FOUR, Locality::Local, "Figure 6.20 — Max Load (III & IV, Local)")
+    let (mode, threads) = env_exec();
+    fig_6_20_with(mode, threads)
+}
+
+/// [`fig_6_20`] under an explicit execution mode.
+pub fn fig_6_20_with(mode: ExecMode, threads: usize) -> String {
+    max_load(
+        mode,
+        threads,
+        &THREE_FOUR,
+        Locality::Local,
+        "Figure 6.20 — Max Load (III & IV, Local)",
+    )
 }
 
 /// Figure 6.21 — maximum load, III vs IV, non-local.
 pub fn fig_6_21() -> String {
-    max_load(&THREE_FOUR, Locality::NonLocal, "Figure 6.21 — Max Load (III & IV, Non-local)")
+    let (mode, threads) = env_exec();
+    fig_6_21_with(mode, threads)
+}
+
+/// [`fig_6_21`] under an explicit execution mode.
+pub fn fig_6_21_with(mode: ExecMode, threads: usize) -> String {
+    max_load(
+        mode,
+        threads,
+        &THREE_FOUR,
+        Locality::NonLocal,
+        "Figure 6.21 — Max Load (III & IV, Non-local)",
+    )
 }
 
 /// Figure 6.22 — realistic load, III vs IV, local.
 pub fn fig_6_22() -> String {
-    realistic(&THREE_FOUR, Locality::Local, "Figure 6.22 — Realistic Load (III & IV, Local)")
+    let (mode, threads) = env_exec();
+    fig_6_22_with(mode, threads)
+}
+
+/// [`fig_6_22`] under an explicit execution mode.
+pub fn fig_6_22_with(mode: ExecMode, threads: usize) -> String {
+    realistic(
+        mode,
+        threads,
+        &THREE_FOUR,
+        Locality::Local,
+        "Figure 6.22 — Realistic Load (III & IV, Local)",
+    )
 }
 
 /// Figure 6.23 — realistic load, III vs IV, non-local.
 pub fn fig_6_23() -> String {
-    realistic(&THREE_FOUR, Locality::NonLocal, "Figure 6.23 — Realistic Load (III & IV, Non-local)")
+    let (mode, threads) = env_exec();
+    fig_6_23_with(mode, threads)
+}
+
+/// [`fig_6_23`] under an explicit execution mode.
+pub fn fig_6_23_with(mode: ExecMode, threads: usize) -> String {
+    realistic(
+        mode,
+        threads,
+        &THREE_FOUR,
+        Locality::NonLocal,
+        "Figure 6.23 — Realistic Load (III & IV, Non-local)",
+    )
 }
 
 /// Chapter 7 extension — a shared-memory multiprocessor node: one message
 /// coprocessor serving 1–3 hosts (Figure 7.1's proposal), at a
 /// computation-heavy load where extra hosts matter.
 pub fn fig_7_1() -> String {
+    let (mode, threads) = env_exec();
+    fig_7_1_with(mode, threads)
+}
+
+/// [`fig_7_1`] under an explicit execution mode.
+pub fn fig_7_1_with(mode: ExecMode, threads: usize) -> String {
     let x = 5_700.0;
-    let mut rows = Vec::new();
-    for hosts in 1..=3u32 {
-        let mut cells = vec![hosts.to_string()];
-        for &n in &[2u32, 4] {
-            let t = local::solve_with_hosts(Architecture::MessageCoprocessor, n, x, hosts)
-                .expect("multi-host model solves");
-            cells.push(format!("{:.4}", t.throughput_per_ms));
-        }
-        rows.push(cells);
-    }
+    let hosts_axis: [u32; 3] = [1, 2, 3];
+    let conv_axis: [u32; 2] = [2, 4];
+    let grid = sweep::cartesian(&hosts_axis, &conv_axis);
+    let cells = grid.eval_with(mode, threads, |&(hosts, n)| {
+        let t = local::solve_with_hosts(Architecture::MessageCoprocessor, n, x, hosts)
+            .expect("multi-host model solves");
+        format!("{:.4}", t.throughput_per_ms)
+    });
+    let rows: Vec<Vec<String>> = hosts_axis
+        .iter()
+        .zip(cells.chunks(conv_axis.len()))
+        .map(|(hosts, chunk)| {
+            let mut row = vec![hosts.to_string()];
+            row.extend_from_slice(chunk);
+            row
+        })
+        .collect();
     render_table(
         "Chapter 7 extension — One MP serving multiple hosts (Arch II, local, S=5.7ms)",
         &["Hosts", "2 conv (/ms)", "4 conv (/ms)"],

@@ -22,7 +22,14 @@ pub fn table_6_1() -> String {
         .collect();
     render_table(
         "Table 6.1 — Comparison of Processing Times (µs)",
-        &["Operation", "II proc", "II mem", "III proc", "III mem", "Speedup"],
+        &[
+            "Operation",
+            "II proc",
+            "II mem",
+            "III proc",
+            "III mem",
+            "Speedup",
+        ],
         &rows,
     )
 }
@@ -31,8 +38,7 @@ pub fn table_6_1() -> String {
 /// side by side with the published values.
 pub fn table_6_2() -> String {
     let published = [1314.9, 235.2, 235.2, 982.0];
-    let times = contention::completion_times(contention::TABLE_6_2)
-        .expect("table 6.2 mix solves");
+    let times = contention::completion_times(contention::TABLE_6_2).expect("table 6.2 mix solves");
     let rows: Vec<Vec<String>> = contention::TABLE_6_2
         .iter()
         .zip(times.iter())
@@ -71,7 +77,15 @@ fn activity_table(paper_table: &str, arch: Architecture, locality: Locality) -> 
         .collect();
     let mut out = render_table(
         &format!("{paper_table} — {arch}, {locality:?} conversation (µs)"),
-        &["#", "Activity", "Proc", "Processing", "Shared", "Best", "Contention"],
+        &[
+            "#",
+            "Activity",
+            "Proc",
+            "Processing",
+            "Shared",
+            "Best",
+            "Contention",
+        ],
         &rows,
     );
     out.push_str(&format!(
@@ -93,12 +107,20 @@ pub fn table_6_6() -> String {
 
 /// Table 6.9 — Architecture II, local.
 pub fn table_6_9() -> String {
-    activity_table("Table 6.9", Architecture::MessageCoprocessor, Locality::Local)
+    activity_table(
+        "Table 6.9",
+        Architecture::MessageCoprocessor,
+        Locality::Local,
+    )
 }
 
 /// Table 6.11 — Architecture II, non-local.
 pub fn table_6_11() -> String {
-    activity_table("Table 6.11", Architecture::MessageCoprocessor, Locality::NonLocal)
+    activity_table(
+        "Table 6.11",
+        Architecture::MessageCoprocessor,
+        Locality::NonLocal,
+    )
 }
 
 /// Table 6.14 — Architecture III, local.
@@ -113,23 +135,36 @@ pub fn table_6_16() -> String {
 
 /// Table 6.19 — Architecture IV, local.
 pub fn table_6_19() -> String {
-    activity_table("Table 6.19", Architecture::PartitionedSmartBus, Locality::Local)
+    activity_table(
+        "Table 6.19",
+        Architecture::PartitionedSmartBus,
+        Locality::Local,
+    )
 }
 
 /// Table 6.21 — Architecture IV, non-local.
 pub fn table_6_21() -> String {
-    activity_table("Table 6.21", Architecture::PartitionedSmartBus, Locality::NonLocal)
+    activity_table(
+        "Table 6.21",
+        Architecture::PartitionedSmartBus,
+        Locality::NonLocal,
+    )
 }
 
-fn offered_table(paper_table: &str, locality: Locality) -> String {
-    let rows: Vec<Vec<String>> = models::offered::table(locality)
-        .iter()
-        .map(|r| {
-            let mut cells = vec![format!("{:.2}", r.server_ms)];
-            cells.extend(r.loads.iter().map(|l| format!("{l:.3}")));
-            cells
-        })
-        .collect();
+fn offered_table(
+    mode: sweep::ExecMode,
+    threads: usize,
+    paper_table: &str,
+    locality: Locality,
+) -> String {
+    // Each row is an independent sweep point over the paper's server times.
+    let grid = sweep::Grid::new(models::offered::SERVER_TIMES_MS.to_vec());
+    let rows = grid.eval_with(mode, threads, |&server_ms| {
+        let r = models::offered::row(locality, server_ms);
+        let mut cells = vec![format!("{:.2}", r.server_ms)];
+        cells.extend(r.loads.iter().map(|l| format!("{l:.3}")));
+        cells
+    });
     render_table(
         &format!("{paper_table} — Offered Loads ({locality:?})"),
         &["Server (ms)", "I", "II", "III", "IV"],
@@ -139,12 +174,22 @@ fn offered_table(paper_table: &str, locality: Locality) -> String {
 
 /// Table 6.24 — offered loads, local.
 pub fn table_6_24() -> String {
-    offered_table("Table 6.24", Locality::Local)
+    table_6_24_with(sweep::exec_mode(), sweep::thread_count())
+}
+
+/// [`table_6_24`] under an explicit execution mode.
+pub fn table_6_24_with(mode: sweep::ExecMode, threads: usize) -> String {
+    offered_table(mode, threads, "Table 6.24", Locality::Local)
 }
 
 /// Table 6.25 — offered loads, non-local.
 pub fn table_6_25() -> String {
-    offered_table("Table 6.25", Locality::NonLocal)
+    table_6_25_with(sweep::exec_mode(), sweep::thread_count())
+}
+
+/// [`table_6_25`] under an explicit execution mode.
+pub fn table_6_25_with(mode: sweep::ExecMode, threads: usize) -> String {
+    offered_table(mode, threads, "Table 6.25", Locality::NonLocal)
 }
 
 #[cfg(test)]

@@ -29,46 +29,204 @@ pub struct Experiment {
 /// All experiments, in paper order.
 pub fn all() -> Vec<Experiment> {
     vec![
-        Experiment { id: "table3.1", title: "Charlotte profiling (local, 1000 B)", run: ch3::table_3_1 },
-        Experiment { id: "table3.2", title: "Jasmin profiling (local, 32 B)", run: ch3::table_3_2 },
-        Experiment { id: "table3.3", title: "925 profiling (local, 40 B)", run: ch3::table_3_3 },
-        Experiment { id: "table3.4", title: "Unix profiling (local, 128 B)", run: ch3::table_3_4 },
-        Experiment { id: "table3.5", title: "Unix profiling (non-local, 128 B)", run: ch3::table_3_5 },
-        Experiment { id: "table3.6", title: "Unix server service times", run: ch3::table_3_6 },
-        Experiment { id: "table3.7", title: "Unix read/write vs block size", run: ch3::table_3_7 },
-        Experiment { id: "fig3.path", title: "Message-path time-stamping (S3.3 technique 3)", run: ch3::fig_3_msgpath },
-        Experiment { id: "fig4.6", title: "Blocking remote invocation send timeline", run: ch4::fig_4_6 },
-        Experiment { id: "table5.1", title: "Smart bus signals", run: ch5::table_5_1 },
-        Experiment { id: "table5.2", title: "Smart bus commands", run: ch5::table_5_2 },
-        Experiment { id: "fig5.timing", title: "Smart bus timing diagrams (Figs 5.4-5.16)", run: ch5::fig_5_timing },
-        Experiment { id: "table6.1", title: "Queue/block primitive times, Arch II vs III", run: ch6tables::table_6_1 },
-        Experiment { id: "table6.2", title: "Shared-memory contention completion times", run: ch6tables::table_6_2 },
-        Experiment { id: "table6.4", title: "Arch I local activity costs", run: ch6tables::table_6_4 },
-        Experiment { id: "table6.6", title: "Arch I non-local activity costs", run: ch6tables::table_6_6 },
-        Experiment { id: "table6.9", title: "Arch II local activity costs", run: ch6tables::table_6_9 },
-        Experiment { id: "table6.11", title: "Arch II non-local activity costs", run: ch6tables::table_6_11 },
-        Experiment { id: "table6.14", title: "Arch III local activity costs", run: ch6tables::table_6_14 },
-        Experiment { id: "table6.16", title: "Arch III non-local activity costs", run: ch6tables::table_6_16 },
-        Experiment { id: "table6.19", title: "Arch IV local activity costs", run: ch6tables::table_6_19 },
-        Experiment { id: "table6.21", title: "Arch IV non-local activity costs", run: ch6tables::table_6_21 },
-        Experiment { id: "table6.24", title: "Offered loads (local)", run: ch6tables::table_6_24 },
-        Experiment { id: "table6.25", title: "Offered loads (non-local)", run: ch6tables::table_6_25 },
-        Experiment { id: "fig6.7", title: "Geometric-delay approximation", run: ch6figures::fig_6_7 },
-        Experiment { id: "fig6.15", title: "Model validation (GTPN vs DES)", run: ch6figures::fig_6_15 },
-        Experiment { id: "fig6.17", title: "Maximum communication load (I/II/III)", run: ch6figures::fig_6_17 },
-        Experiment { id: "fig6.18", title: "Realistic workload, local (I/II/III)", run: ch6figures::fig_6_18 },
-        Experiment { id: "fig6.19", title: "Realistic workload, non-local (I/II/III)", run: ch6figures::fig_6_19 },
-        Experiment { id: "fig6.20", title: "Max load, III vs IV (local)", run: ch6figures::fig_6_20 },
-        Experiment { id: "fig6.21", title: "Max load, III vs IV (non-local)", run: ch6figures::fig_6_21 },
-        Experiment { id: "fig6.22", title: "Realistic load, III vs IV (local)", run: ch6figures::fig_6_22 },
-        Experiment { id: "fig6.23", title: "Realistic load, III vs IV (non-local)", run: ch6figures::fig_6_23 },
-        Experiment { id: "fig7.1", title: "Chapter 7 extension: one MP, multiple hosts", run: ch6figures::fig_7_1 },
+        Experiment {
+            id: "table3.1",
+            title: "Charlotte profiling (local, 1000 B)",
+            run: ch3::table_3_1,
+        },
+        Experiment {
+            id: "table3.2",
+            title: "Jasmin profiling (local, 32 B)",
+            run: ch3::table_3_2,
+        },
+        Experiment {
+            id: "table3.3",
+            title: "925 profiling (local, 40 B)",
+            run: ch3::table_3_3,
+        },
+        Experiment {
+            id: "table3.4",
+            title: "Unix profiling (local, 128 B)",
+            run: ch3::table_3_4,
+        },
+        Experiment {
+            id: "table3.5",
+            title: "Unix profiling (non-local, 128 B)",
+            run: ch3::table_3_5,
+        },
+        Experiment {
+            id: "table3.6",
+            title: "Unix server service times",
+            run: ch3::table_3_6,
+        },
+        Experiment {
+            id: "table3.7",
+            title: "Unix read/write vs block size",
+            run: ch3::table_3_7,
+        },
+        Experiment {
+            id: "fig3.path",
+            title: "Message-path time-stamping (S3.3 technique 3)",
+            run: ch3::fig_3_msgpath,
+        },
+        Experiment {
+            id: "fig4.6",
+            title: "Blocking remote invocation send timeline",
+            run: ch4::fig_4_6,
+        },
+        Experiment {
+            id: "table5.1",
+            title: "Smart bus signals",
+            run: ch5::table_5_1,
+        },
+        Experiment {
+            id: "table5.2",
+            title: "Smart bus commands",
+            run: ch5::table_5_2,
+        },
+        Experiment {
+            id: "fig5.timing",
+            title: "Smart bus timing diagrams (Figs 5.4-5.16)",
+            run: ch5::fig_5_timing,
+        },
+        Experiment {
+            id: "table6.1",
+            title: "Queue/block primitive times, Arch II vs III",
+            run: ch6tables::table_6_1,
+        },
+        Experiment {
+            id: "table6.2",
+            title: "Shared-memory contention completion times",
+            run: ch6tables::table_6_2,
+        },
+        Experiment {
+            id: "table6.4",
+            title: "Arch I local activity costs",
+            run: ch6tables::table_6_4,
+        },
+        Experiment {
+            id: "table6.6",
+            title: "Arch I non-local activity costs",
+            run: ch6tables::table_6_6,
+        },
+        Experiment {
+            id: "table6.9",
+            title: "Arch II local activity costs",
+            run: ch6tables::table_6_9,
+        },
+        Experiment {
+            id: "table6.11",
+            title: "Arch II non-local activity costs",
+            run: ch6tables::table_6_11,
+        },
+        Experiment {
+            id: "table6.14",
+            title: "Arch III local activity costs",
+            run: ch6tables::table_6_14,
+        },
+        Experiment {
+            id: "table6.16",
+            title: "Arch III non-local activity costs",
+            run: ch6tables::table_6_16,
+        },
+        Experiment {
+            id: "table6.19",
+            title: "Arch IV local activity costs",
+            run: ch6tables::table_6_19,
+        },
+        Experiment {
+            id: "table6.21",
+            title: "Arch IV non-local activity costs",
+            run: ch6tables::table_6_21,
+        },
+        Experiment {
+            id: "table6.24",
+            title: "Offered loads (local)",
+            run: ch6tables::table_6_24,
+        },
+        Experiment {
+            id: "table6.25",
+            title: "Offered loads (non-local)",
+            run: ch6tables::table_6_25,
+        },
+        Experiment {
+            id: "fig6.7",
+            title: "Geometric-delay approximation",
+            run: ch6figures::fig_6_7,
+        },
+        Experiment {
+            id: "fig6.15",
+            title: "Model validation (GTPN vs DES)",
+            run: ch6figures::fig_6_15,
+        },
+        Experiment {
+            id: "fig6.17",
+            title: "Maximum communication load (I/II/III)",
+            run: ch6figures::fig_6_17,
+        },
+        Experiment {
+            id: "fig6.18",
+            title: "Realistic workload, local (I/II/III)",
+            run: ch6figures::fig_6_18,
+        },
+        Experiment {
+            id: "fig6.19",
+            title: "Realistic workload, non-local (I/II/III)",
+            run: ch6figures::fig_6_19,
+        },
+        Experiment {
+            id: "fig6.20",
+            title: "Max load, III vs IV (local)",
+            run: ch6figures::fig_6_20,
+        },
+        Experiment {
+            id: "fig6.21",
+            title: "Max load, III vs IV (non-local)",
+            run: ch6figures::fig_6_21,
+        },
+        Experiment {
+            id: "fig6.22",
+            title: "Realistic load, III vs IV (local)",
+            run: ch6figures::fig_6_22,
+        },
+        Experiment {
+            id: "fig6.23",
+            title: "Realistic load, III vs IV (non-local)",
+            run: ch6figures::fig_6_23,
+        },
+        Experiment {
+            id: "fig7.1",
+            title: "Chapter 7 extension: one MP, multiple hosts",
+            run: ch6figures::fig_7_1,
+        },
     ]
 }
 
 /// Runs one experiment by id; `None` for an unknown id.
 pub fn run(id: &str) -> Option<String> {
     all().into_iter().find(|e| e.id == id).map(|e| (e.run)())
+}
+
+/// Runs one experiment under an explicit sweep execution mode, bypassing
+/// the `HSIPC_SWEEP` / thread-count environment policy. Experiments whose
+/// grids are swept honor `mode`/`threads`; the rest are single solves and
+/// run as-is. Output is byte-identical across modes — that is the sweep
+/// engine's contract, and `tests/sweep_identity.rs` holds it to it.
+pub fn run_with(id: &str, mode: sweep::ExecMode, threads: usize) -> Option<String> {
+    match id {
+        "table6.24" => Some(ch6tables::table_6_24_with(mode, threads)),
+        "table6.25" => Some(ch6tables::table_6_25_with(mode, threads)),
+        "fig6.15" => Some(ch6figures::fig_6_15_with(mode, threads)),
+        "fig6.17" => Some(ch6figures::fig_6_17_with(mode, threads)),
+        "fig6.18" => Some(ch6figures::fig_6_18_with(mode, threads)),
+        "fig6.19" => Some(ch6figures::fig_6_19_with(mode, threads)),
+        "fig6.20" => Some(ch6figures::fig_6_20_with(mode, threads)),
+        "fig6.21" => Some(ch6figures::fig_6_21_with(mode, threads)),
+        "fig6.22" => Some(ch6figures::fig_6_22_with(mode, threads)),
+        "fig6.23" => Some(ch6figures::fig_6_23_with(mode, threads)),
+        "fig7.1" => Some(ch6figures::fig_7_1_with(mode, threads)),
+        _ => run(id),
+    }
 }
 
 /// Renders a text table: a header row and aligned columns.

@@ -1,0 +1,286 @@
+//! Memoizing cache for reachability graphs.
+//!
+//! The paper's evaluation re-analyzes the same nets constantly: a sweep
+//! over conversations × architectures × offered loads rebuilds the
+//! Figure 6.9/6.12 nets point by point, several figures share points
+//! outright (6.17 and 6.20 both solve architecture III at max load), and
+//! the §6.6.3 non-local fixed point iterates over structurally identical
+//! client/server nets. Reachability expansion dominates those solves, so
+//! [`reachability`] memoizes graphs keyed by the net's structure.
+//!
+//! Keys are a 64-bit structural fingerprint (places, arcs, delays,
+//! frequency expressions with exact bit-pattern float hashing) verified by
+//! full structural equality ([`Net`]'s `PartialEq`), so fingerprint
+//! collisions cannot alias two different nets. Values are
+//! `Arc<ReachabilityGraph>`, shared freely across sweep worker threads.
+//!
+//! The cache is process-global and bounded: once [`MAX_ENTRIES`] graphs are
+//! resident the oldest entry is evicted (insertion order), which fits the
+//! sweep access pattern — a burst of repeats while one figure renders, then
+//! a new working set.
+
+use crate::error::GtpnError;
+use crate::expr::Expr;
+use crate::net::Net;
+use crate::reach::ReachabilityGraph;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum number of cached graphs before insertion-order eviction.
+pub const MAX_ENTRIES: usize = 256;
+
+struct CacheInner {
+    /// fingerprint -> entries with that fingerprint (collision chain).
+    map: HashMap<u64, Vec<(Net, Arc<ReachabilityGraph>)>>,
+    /// Insertion order for eviction.
+    order: VecDeque<(u64, usize)>,
+    hits: u64,
+    misses: u64,
+}
+
+fn cache() -> &'static Mutex<CacheInner> {
+    static CACHE: OnceLock<Mutex<CacheInner>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(CacheInner {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        })
+    })
+}
+
+/// Hit/miss counters of the global cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to expand the graph.
+    pub misses: u64,
+    /// Graphs currently resident.
+    pub entries: usize,
+}
+
+/// Current statistics of the global reachability cache.
+pub fn stats() -> CacheStats {
+    let c = cache().lock().expect("reachability cache poisoned");
+    CacheStats {
+        hits: c.hits,
+        misses: c.misses,
+        entries: c.order.len(),
+    }
+}
+
+/// Empties the global cache (counters included) — test isolation aid.
+pub fn clear() {
+    let mut c = cache().lock().expect("reachability cache poisoned");
+    c.map.clear();
+    c.order.clear();
+    c.hits = 0;
+    c.misses = 0;
+}
+
+/// As [`Net::reachability`], memoized on the net's structure.
+///
+/// A cached graph is returned only when its state count fits the caller's
+/// `max_states` budget; otherwise the graph is rebuilt under that budget
+/// (and the rebuild reports [`GtpnError::StateSpaceExceeded`] exactly as
+/// the uncached path would). Failed expansions are not cached.
+///
+/// # Errors
+///
+/// Exactly those of [`Net::reachability`].
+pub fn reachability(net: &Net, max_states: usize) -> Result<Arc<ReachabilityGraph>, GtpnError> {
+    let fp = fingerprint(net);
+    {
+        let mut c = cache().lock().expect("reachability cache poisoned");
+        if let Some(entries) = c.map.get(&fp) {
+            if let Some(graph) = entries
+                .iter()
+                .find(|(n, g)| g.state_count() <= max_states && n == net)
+                .map(|(_, g)| Arc::clone(g))
+            {
+                c.hits += 1;
+                return Ok(graph);
+            }
+        }
+        c.misses += 1;
+    }
+
+    // Expand outside the lock: big nets take a while and other workers may
+    // be solving different points meanwhile. Two threads racing on the same
+    // net both expand; the second insert is a harmless duplicate that the
+    // eviction queue ages out.
+    let graph = Arc::new(net.reachability(max_states)?);
+    let mut c = cache().lock().expect("reachability cache poisoned");
+    while c.order.len() >= MAX_ENTRIES {
+        if let Some((old_fp, _)) = c.order.pop_front() {
+            // Drop the oldest entry for this fingerprint.
+            if let Some(entries) = c.map.get_mut(&old_fp) {
+                if !entries.is_empty() {
+                    entries.remove(0);
+                }
+                if entries.is_empty() {
+                    c.map.remove(&old_fp);
+                }
+            }
+        }
+    }
+    let entries = c.map.entry(fp).or_default();
+    entries.push((net.clone(), Arc::clone(&graph)));
+    let idx = entries.len() - 1;
+    c.order.push_back((fp, idx));
+    Ok(graph)
+}
+
+/// Structural fingerprint of a net: everything that determines its
+/// reachability graph (names excluded — they are labels, not structure;
+/// the equality check compares them anyway via `PartialEq`).
+pub fn fingerprint(net: &Net) -> u64 {
+    let mut h = DefaultHasher::new();
+    net.place_count().hash(&mut h);
+    for marking in net.initial_marking() {
+        marking.hash(&mut h);
+    }
+    net.transition_count().hash(&mut h);
+    for t in &net.transitions {
+        t.delay.hash(&mut h);
+        t.resource.hash(&mut h);
+        t.inputs.hash(&mut h);
+        t.outputs.hash(&mut h);
+        hash_expr(&t.frequency, &mut h);
+    }
+    h.finish()
+}
+
+/// Hashes an expression tree; floats hash by bit pattern so distinct
+/// timings produce distinct fingerprints.
+fn hash_expr(e: &Expr, h: &mut DefaultHasher) {
+    match e {
+        Expr::Const(v) => {
+            0u8.hash(h);
+            v.to_bits().hash(h);
+        }
+        Expr::Tokens(p) => {
+            1u8.hash(h);
+            p.0.hash(h);
+        }
+        Expr::Firing(t) => {
+            2u8.hash(h);
+            t.0.hash(h);
+        }
+        Expr::Add(a, b) => hash_pair(3, a, b, h),
+        Expr::Sub(a, b) => hash_pair(4, a, b, h),
+        Expr::Mul(a, b) => hash_pair(5, a, b, h),
+        Expr::Div(a, b) => hash_pair(6, a, b, h),
+        Expr::Eq(a, b) => hash_pair(7, a, b, h),
+        Expr::Lt(a, b) => hash_pair(8, a, b, h),
+        Expr::Le(a, b) => hash_pair(9, a, b, h),
+        Expr::And(a, b) => hash_pair(10, a, b, h),
+        Expr::Or(a, b) => hash_pair(11, a, b, h),
+        Expr::Not(a) => {
+            12u8.hash(h);
+            hash_expr(a, h);
+        }
+        Expr::If(c, a, b) => {
+            13u8.hash(h);
+            hash_expr(c, h);
+            hash_expr(a, h);
+            hash_expr(b, h);
+        }
+    }
+}
+
+fn hash_pair(tag: u8, a: &Expr, b: &Expr, h: &mut DefaultHasher) {
+    tag.hash(h);
+    hash_expr(a, h);
+    hash_expr(b, h);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::Transition;
+
+    fn ring(freq: f64) -> Net {
+        let mut net = Net::new("ring");
+        let p = net.add_place("P", 1);
+        let q = net.add_place("Q", 0);
+        net.add_transition(
+            Transition::new("exit")
+                .delay(1)
+                .frequency(Expr::constant(freq))
+                .input(p, 1)
+                .output(q, 1),
+        )
+        .unwrap();
+        net.add_transition(
+            Transition::new("loop")
+                .delay(1)
+                .frequency(Expr::constant(1.0 - freq))
+                .input(p, 1)
+                .output(p, 1),
+        )
+        .unwrap();
+        net.add_transition(Transition::new("recycle").delay(0).input(q, 1).output(p, 1))
+            .unwrap();
+        net
+    }
+
+    #[test]
+    fn identical_nets_share_one_graph() {
+        clear();
+        let a = reachability(&ring(0.25), 100).unwrap();
+        let b = reachability(&ring(0.25), 100).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must be a cache hit");
+        let s = stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_timings_are_distinct_entries() {
+        clear();
+        let a = reachability(&ring(0.25), 100).unwrap();
+        let b = reachability(&ring(0.125), 100).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(fingerprint(&ring(0.25)), fingerprint(&ring(0.125)));
+        // Same shape, same state space; different edge probabilities.
+        assert_eq!(a.state_count(), b.state_count());
+        let pa: Vec<f64> = a.out_edges(0).iter().map(|&(_, p)| p).collect();
+        let pb: Vec<f64> = b.out_edges(0).iter().map(|&(_, p)| p).collect();
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn budget_still_enforced_on_hit_path() {
+        clear();
+        let net = ring(0.5);
+        let g = reachability(&net, 100).unwrap();
+        assert!(g.state_count() > 1);
+        // A budget below the cached graph's size must error, not hit.
+        let err = reachability(&net, 1).unwrap_err();
+        assert!(matches!(err, GtpnError::StateSpaceExceeded { limit: 1 }));
+    }
+
+    #[test]
+    fn cached_solution_matches_fresh_solution() {
+        clear();
+        let net = ring(0.1);
+        let fresh = net
+            .reachability(100)
+            .unwrap()
+            .solve(1e-13, 100_000)
+            .unwrap();
+        let cached = reachability(&net, 100)
+            .unwrap()
+            .solve(1e-13, 100_000)
+            .unwrap();
+        assert_eq!(
+            fresh.state_probabilities(),
+            cached.state_probabilities(),
+            "cache must not change results"
+        );
+    }
+}

@@ -13,7 +13,11 @@ pub fn to_dot(net: &Net) -> String {
     let _ = writeln!(out, "  rankdir=LR;");
     let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
     for (i, p) in net.places.iter().enumerate() {
-        let tokens = if p.initial > 0 { format!("\\n●{}", p.initial) } else { String::new() };
+        let tokens = if p.initial > 0 {
+            format!("\\n●{}", p.initial)
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
             "  p{i} [shape=circle, label=\"{}{}\"];",
@@ -37,11 +41,19 @@ pub fn to_dot(net: &Net) -> String {
             resource
         );
         for &(p, m) in &t.inputs {
-            let label = if m > 1 { format!(" [label=\"{m}\"]") } else { String::new() };
+            let label = if m > 1 {
+                format!(" [label=\"{m}\"]")
+            } else {
+                String::new()
+            };
             let _ = writeln!(out, "  p{} -> t{i}{label};", p.0);
         }
         for &(p, m) in &t.outputs {
-            let label = if m > 1 { format!(" [label=\"{m}\"]") } else { String::new() };
+            let label = if m > 1 {
+                format!(" [label=\"{m}\"]")
+            } else {
+                String::new()
+            };
             let _ = writeln!(out, "  t{i} -> p{}{label};", p.0);
         }
     }
@@ -88,7 +100,8 @@ mod tests {
     fn escapes_quotes_in_names() {
         let mut net = Net::new("has \"quotes\"");
         let p = net.add_place("p\"q", 0);
-        net.add_transition(Transition::new("t").delay(1).input(p, 1).output(p, 1)).unwrap();
+        net.add_transition(Transition::new("t").delay(1).input(p, 1).output(p, 1))
+            .unwrap();
         let dot = to_dot(&net);
         assert!(dot.contains("has \\\"quotes\\\""));
         assert!(dot.contains("p\\\"q"));

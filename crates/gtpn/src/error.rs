@@ -48,13 +48,22 @@ impl fmt::Display for GtpnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GtpnError::UnknownPlace { transition, place } => {
-                write!(f, "transition `{transition}` references unknown place index {place}")
+                write!(
+                    f,
+                    "transition `{transition}` references unknown place index {place}"
+                )
             }
             GtpnError::BadFrequency { transition, value } => {
-                write!(f, "transition `{transition}` frequency evaluated to invalid value {value}")
+                write!(
+                    f,
+                    "transition `{transition}` frequency evaluated to invalid value {value}"
+                )
             }
             GtpnError::ZeroDelayDivergence => {
-                write!(f, "instantaneous firing phase diverged (zero-delay transition cycle)")
+                write!(
+                    f,
+                    "instantaneous firing phase diverged (zero-delay transition cycle)"
+                )
             }
             GtpnError::StateSpaceExceeded { limit } => {
                 write!(f, "reachability graph exceeded the state budget of {limit}")
@@ -62,7 +71,10 @@ impl fmt::Display for GtpnError {
             GtpnError::Deadlock { state } => {
                 write!(f, "net deadlocks in reachable state {state}")
             }
-            GtpnError::NoConvergence { residual, iterations } => {
+            GtpnError::NoConvergence {
+                residual,
+                iterations,
+            } => {
                 write!(
                     f,
                     "steady-state solver stalled at residual {residual:.3e} after {iterations} sweeps"

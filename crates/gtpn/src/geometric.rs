@@ -157,7 +157,11 @@ mod tests {
             .unwrap();
         net.add_transition(Transition::new("recycle").delay(0).input(q, 1).output(p, 1))
             .unwrap();
-        let s = net.reachability(100).unwrap().solve(1e-13, 100_000).unwrap();
+        let s = net
+            .reachability(100)
+            .unwrap()
+            .solve(1e-13, 100_000)
+            .unwrap();
         // Completion rate should be 1/mean; usage of the exit transition is
         // rate * delay = 1/mean.
         let u = s.resource_usage("lambda").unwrap();
@@ -186,7 +190,11 @@ mod tests {
             .resource("rb")
             .build(&mut net)
             .unwrap();
-        let s = net.reachability(1000).unwrap().solve(1e-13, 200_000).unwrap();
+        let s = net
+            .reachability(1000)
+            .unwrap()
+            .solve(1e-13, 200_000)
+            .unwrap();
         let ra = s.resource_usage("ra").unwrap();
         let rb = s.resource_usage("rb").unwrap();
         // Each stage runs half the time; exit probability per active step is

@@ -204,8 +204,10 @@ mod tests {
         let mut net = Net::new("cycle");
         let a = net.add_place("A", 1);
         let b = net.add_place("B", 0);
-        net.add_transition(Transition::new("ab").delay(1).input(a, 1).output(b, 1)).unwrap();
-        net.add_transition(Transition::new("ba").delay(1).input(b, 1).output(a, 1)).unwrap();
+        net.add_transition(Transition::new("ab").delay(1).input(a, 1).output(b, 1))
+            .unwrap();
+        net.add_transition(Transition::new("ba").delay(1).input(b, 1).output(a, 1))
+            .unwrap();
         let basis = p_invariants(&net);
         assert_eq!(basis.len(), 1);
         assert!(is_invariant(&net, &basis[0]));
@@ -220,8 +222,14 @@ mod tests {
         let a = net.add_place("A", 1);
         let b = net.add_place("B", 0);
         // A -> A + B : cannot conserve both A and B with nonzero weights.
-        net.add_transition(Transition::new("t").delay(1).input(a, 1).output(a, 1).output(b, 1))
-            .unwrap();
+        net.add_transition(
+            Transition::new("t")
+                .delay(1)
+                .input(a, 1)
+                .output(a, 1)
+                .output(b, 1),
+        )
+        .unwrap();
         let basis = p_invariants(&net);
         // The only invariants have weight 0 on B... actually y_A*0 + y_B*1 =
         // 0 forces y_B = 0, leaving y = (1, 0).
@@ -235,8 +243,10 @@ mod tests {
         let mut net = Net::new("weighted");
         let a = net.add_place("A", 2);
         let b = net.add_place("B", 0);
-        net.add_transition(Transition::new("fwd").delay(1).input(a, 2).output(b, 1)).unwrap();
-        net.add_transition(Transition::new("rev").delay(1).input(b, 1).output(a, 2)).unwrap();
+        net.add_transition(Transition::new("fwd").delay(1).input(a, 2).output(b, 1))
+            .unwrap();
+        net.add_transition(Transition::new("rev").delay(1).input(b, 1).output(a, 2))
+            .unwrap();
         let basis = p_invariants(&net);
         assert_eq!(basis.len(), 1);
         assert!(is_invariant(&net, &basis[0]));
@@ -249,8 +259,10 @@ mod tests {
         let mut net = Net::new("two");
         let a = net.add_place("A", 1);
         let b = net.add_place("B", 1);
-        net.add_transition(Transition::new("ta").delay(1).input(a, 1).output(a, 1)).unwrap();
-        net.add_transition(Transition::new("tb").delay(1).input(b, 1).output(b, 1)).unwrap();
+        net.add_transition(Transition::new("ta").delay(1).input(a, 1).output(a, 1))
+            .unwrap();
+        net.add_transition(Transition::new("tb").delay(1).input(b, 1).output(b, 1))
+            .unwrap();
         let basis = p_invariants(&net);
         assert_eq!(basis.len(), 2);
         for y in &basis {
@@ -266,8 +278,10 @@ mod tests {
         let mut net = Net::new("cycle");
         let a = net.add_place("A", 1);
         let b = net.add_place("B", 0);
-        net.add_transition(Transition::new("ab").delay(1).input(a, 1).output(b, 1)).unwrap();
-        net.add_transition(Transition::new("ba").delay(1).input(b, 1).output(a, 1)).unwrap();
+        net.add_transition(Transition::new("ab").delay(1).input(a, 1).output(b, 1))
+            .unwrap();
+        net.add_transition(Transition::new("ba").delay(1).input(b, 1).output(a, 1))
+            .unwrap();
         let basis = t_invariants(&net);
         assert_eq!(basis.len(), 1);
         assert!(is_t_invariant(&net, &basis[0]));
@@ -276,8 +290,10 @@ mod tests {
         let mut net = Net::new("batch");
         let a = net.add_place("A", 2);
         let b = net.add_place("B", 0);
-        net.add_transition(Transition::new("ab").delay(1).input(a, 1).output(b, 1)).unwrap();
-        net.add_transition(Transition::new("ba2").delay(1).input(b, 2).output(a, 2)).unwrap();
+        net.add_transition(Transition::new("ab").delay(1).input(a, 1).output(b, 1))
+            .unwrap();
+        net.add_transition(Transition::new("ba2").delay(1).input(b, 2).output(a, 2))
+            .unwrap();
         let basis = t_invariants(&net);
         assert_eq!(basis.len(), 1);
         assert_eq!(basis[0], vec![2, 1]);
@@ -291,7 +307,8 @@ mod tests {
         let mut net = Net::new("n");
         let a = net.add_place("A", 1);
         let b = net.add_place("B", 0);
-        net.add_transition(Transition::new("t").delay(1).input(a, 1).output(b, 2)).unwrap();
+        net.add_transition(Transition::new("t").delay(1).input(a, 1).output(b, 2))
+            .unwrap();
         assert!(!is_invariant(&net, &[1, 1]));
         assert!(is_invariant(&net, &[2, 1]));
     }

@@ -74,6 +74,7 @@ mod reach;
 mod solve;
 mod state;
 
+pub mod cache;
 pub mod dot;
 pub mod geometric;
 pub mod invariant;
@@ -84,5 +85,5 @@ pub use error::GtpnError;
 pub use expr::{EvalContext, Expr};
 pub use net::{Net, PlaceId, TransId, Transition};
 pub use reach::ReachabilityGraph;
-pub use solve::Solution;
+pub use solve::{Solution, SolveWorkspace};
 pub use state::{Marking, State};

@@ -24,7 +24,7 @@ impl fmt::Display for TransId {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub(crate) struct PlaceDef {
     pub name: String,
     pub initial: u32,
@@ -48,7 +48,7 @@ pub(crate) struct PlaceDef {
 /// net.add_transition(t)?;
 /// # Ok::<(), gtpn::GtpnError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Transition {
     pub(crate) name: String,
     pub(crate) delay: u64,
@@ -103,7 +103,11 @@ impl Transition {
 }
 
 /// A Generalized Timed Petri Net.
-#[derive(Debug, Clone)]
+///
+/// Equality is structural — same places, transitions, arcs, delays and
+/// frequency expressions — and is what the reachability cache
+/// ([`crate::cache`]) uses to recognize a net it has already expanded.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Net {
     name: String,
     pub(crate) places: Vec<PlaceDef>,
@@ -113,7 +117,11 @@ pub struct Net {
 impl Net {
     /// Creates an empty net.
     pub fn new(name: impl Into<String>) -> Net {
-        Net { name: name.into(), places: Vec::new(), transitions: Vec::new() }
+        Net {
+            name: name.into(),
+            places: Vec::new(),
+            transitions: Vec::new(),
+        }
     }
 
     /// The net's name.
@@ -123,7 +131,10 @@ impl Net {
 
     /// Adds a place with the given initial marking and returns its id.
     pub fn add_place(&mut self, name: impl Into<String>, initial: u32) -> PlaceId {
-        self.places.push(PlaceDef { name: name.into(), initial });
+        self.places.push(PlaceDef {
+            name: name.into(),
+            initial,
+        });
         PlaceId(self.places.len() - 1)
     }
 
@@ -185,7 +196,10 @@ impl Net {
 
     /// Looks up a transition id by name (first match).
     pub fn transition_by_name(&self, name: &str) -> Option<TransId> {
-        self.transitions.iter().position(|t| t.name == name).map(TransId)
+        self.transitions
+            .iter()
+            .position(|t| t.name == name)
+            .map(TransId)
     }
 
     /// Looks up a place id by name (first match).
@@ -285,9 +299,12 @@ mod tests {
     fn resources_deduplicated_in_order() {
         let mut net = Net::new("test");
         let a = net.add_place("A", 1);
-        net.add_transition(Transition::new("T0").resource("x").input(a, 1)).unwrap();
-        net.add_transition(Transition::new("T1").resource("y").input(a, 1)).unwrap();
-        net.add_transition(Transition::new("T2").resource("x").input(a, 1)).unwrap();
+        net.add_transition(Transition::new("T0").resource("x").input(a, 1))
+            .unwrap();
+        net.add_transition(Transition::new("T1").resource("y").input(a, 1))
+            .unwrap();
+        net.add_transition(Transition::new("T2").resource("x").input(a, 1))
+            .unwrap();
         assert_eq!(net.resources(), vec!["x", "y"]);
     }
 

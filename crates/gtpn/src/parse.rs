@@ -41,12 +41,20 @@ use crate::net::{Net, TransId};
 /// errors (the message carries the offending fragment).
 pub fn parse_expr(net: &Net, input: &str) -> Result<Expr, GtpnError> {
     let tokens = tokenize(input)?;
-    let mut p = Parser { net, tokens, pos: 0 };
+    let mut p = Parser {
+        net,
+        tokens,
+        pos: 0,
+    };
     let e = p.expr()?;
     if p.pos != p.tokens.len() {
         return Err(GtpnError::UnknownName(format!(
             "trailing input near `{}`",
-            p.tokens[p.pos..].iter().map(Token::text).collect::<Vec<_>>().join(" ")
+            p.tokens[p.pos..]
+                .iter()
+                .map(Token::text)
+                .collect::<Vec<_>>()
+                .join(" ")
         )));
     }
     Ok(e)
@@ -185,7 +193,11 @@ fn tokenize(input: &str) -> Result<Vec<Token>, GtpnError> {
                 }
                 out.push(Token::Name(chars[start..i].iter().collect()));
             }
-            _ => return Err(GtpnError::UnknownName(format!("unexpected character `{c}`"))),
+            _ => {
+                return Err(GtpnError::UnknownName(format!(
+                    "unexpected character `{c}`"
+                )))
+            }
         }
     }
     Ok(out)
@@ -350,7 +362,9 @@ impl Parser<'_> {
                 }
             }
         }
-        Err(GtpnError::UnknownName(format!("`{name}` is neither a place nor a transition")))
+        Err(GtpnError::UnknownName(format!(
+            "`{name}` is neither a place nor a transition"
+        )))
     }
 }
 
@@ -366,8 +380,13 @@ mod tests {
         net.add_place("Host", 1);
         let p = net.add_place("P", 1);
         for i in 0..6 {
-            net.add_transition(Transition::new(format!("T{i}")).delay(1).input(p, 1).output(p, 1))
-                .unwrap();
+            net.add_transition(
+                Transition::new(format!("T{i}"))
+                    .delay(1)
+                    .input(p, 1)
+                    .output(p, 1),
+            )
+            .unwrap();
         }
         net
     }
@@ -444,10 +463,7 @@ mod tests {
             ("@", "unexpected character"),
         ] {
             let err = parse_expr(&net, input).unwrap_err();
-            assert!(
-                err.to_string().contains(fragment),
-                "{input}: {err}"
-            );
+            assert!(err.to_string().contains(fragment), "{input}: {err}");
         }
     }
 

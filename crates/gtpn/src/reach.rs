@@ -73,8 +73,8 @@ impl Net {
         // state index == discovery order and the worklist is processed in
         // index order.
         let intern = |s: State,
-                          states: &mut Vec<State>,
-                          index: &mut HashMap<State, usize>|
+                      states: &mut Vec<State>,
+                      index: &mut HashMap<State, usize>|
          -> Result<usize, GtpnError> {
             if let Some(&i) = index.get(&s) {
                 return Ok(i);
@@ -129,7 +129,13 @@ impl Net {
             edges.push(out);
         }
 
-        Ok(ReachabilityGraph { net: self.clone(), states, edges, sojourn, fired })
+        Ok(ReachabilityGraph {
+            net: self.clone(),
+            states,
+            edges,
+            sojourn,
+            fired,
+        })
     }
 }
 
@@ -173,6 +179,23 @@ impl ReachabilityGraph {
         Solution::solve(self, tolerance, max_sweeps)
     }
 
+    /// As [`solve`](Self::solve), reusing `workspace`'s scratch buffers —
+    /// identical results, no per-solve edge-list allocation. Sweep workers
+    /// keep one workspace per thread and solve many points through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GtpnError::NoConvergence`] when the Gauss–Seidel sweeps do
+    /// not reach `tolerance` within `max_sweeps`.
+    pub fn solve_with(
+        &self,
+        tolerance: f64,
+        max_sweeps: usize,
+        workspace: &mut crate::solve::SolveWorkspace,
+    ) -> Result<Solution, GtpnError> {
+        Solution::solve_with(self, tolerance, max_sweeps, workspace)
+    }
+
     /// The maximum reachable token count of `place` — its bound. A net is
     /// k-bounded when every place's bound is ≤ k. (Tokens held in transit by
     /// in-progress firings are not in any place and are not counted.)
@@ -181,7 +204,11 @@ impl ReachabilityGraph {
     ///
     /// Panics if `place` does not belong to the net.
     pub fn place_bound(&self, place: crate::net::PlaceId) -> u32 {
-        self.states.iter().map(|s| s.marking[place.0]).max().unwrap_or(0)
+        self.states
+            .iter()
+            .map(|s| s.marking[place.0])
+            .max()
+            .unwrap_or(0)
     }
 
     /// Transitions that never fire in any reachable behavior — dead code in
@@ -350,17 +377,23 @@ mod tests {
         let p = net.add_place("P", 1);
         let q = net.add_place("Q", 0);
         net.add_transition(
-            Transition::new("exit").delay(1).frequency(Expr::constant(0.25)).input(p, 1).output(q, 1),
+            Transition::new("exit")
+                .delay(1)
+                .frequency(Expr::constant(0.25))
+                .input(p, 1)
+                .output(q, 1),
         )
         .unwrap();
         net.add_transition(
-            Transition::new("loop").delay(1).frequency(Expr::constant(0.75)).input(p, 1).output(p, 1),
+            Transition::new("loop")
+                .delay(1)
+                .frequency(Expr::constant(0.75))
+                .input(p, 1)
+                .output(p, 1),
         )
         .unwrap();
-        net.add_transition(
-            Transition::new("recycle").delay(0).input(q, 1).output(p, 1),
-        )
-        .unwrap();
+        net.add_transition(Transition::new("recycle").delay(0).input(q, 1).output(p, 1))
+            .unwrap();
         let g = net.reachability(100).unwrap();
         // Two tangible states: firing `exit` or firing `loop`.
         assert_eq!(g.state_count(), 2);
@@ -417,8 +450,14 @@ mod tests {
         let a = net.add_place("A", 0);
         let b = net.add_place("B", 1);
         // Counter: every step adds a token to A — unbounded.
-        net.add_transition(Transition::new("T").delay(1).input(b, 1).output(b, 1).output(a, 1))
-            .unwrap();
+        net.add_transition(
+            Transition::new("T")
+                .delay(1)
+                .input(b, 1)
+                .output(b, 1)
+                .output(a, 1),
+        )
+        .unwrap();
         let err = net.reachability(5).unwrap_err();
         assert!(matches!(err, GtpnError::StateSpaceExceeded { limit: 5 }));
     }
@@ -429,7 +468,11 @@ mod tests {
         let mut net = Net::new("bad");
         let a = net.add_place("A", 1);
         net.add_transition(
-            Transition::new("T").delay(1).frequency(Expr::constant(-1.0)).input(a, 1).output(a, 1),
+            Transition::new("T")
+                .delay(1)
+                .frequency(Expr::constant(-1.0))
+                .input(a, 1)
+                .output(a, 1),
         )
         .unwrap();
         let err = net.reachability(100).unwrap_err();
@@ -471,7 +514,7 @@ mod tests {
         let a = net.add_place("A", 2);
         let host = net.add_place("Host", 1);
         let c = net.add_place("C", 0); // never marked
-        // Two tokens compete for one Host: one waits in A at any time.
+                                       // Two tokens compete for one Host: one waits in A at any time.
         net.add_transition(
             Transition::new("work")
                 .delay(3)

@@ -24,7 +24,10 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { horizon: 1_000_000, warmup: 100_000 }
+        SimOptions {
+            horizon: 1_000_000,
+            warmup: 100_000,
+        }
     }
 }
 
@@ -57,8 +60,7 @@ impl SimResult {
         if self.measured_time == 0 {
             return 0.0;
         }
-        self.completions.get(transition.0).copied().unwrap_or(0) as f64
-            / self.measured_time as f64
+        self.completions.get(transition.0).copied().unwrap_or(0) as f64 / self.measured_time as f64
     }
 }
 
@@ -111,7 +113,10 @@ pub fn confidence_interval<R: Rng>(
     // t ≈ 1.96 for large n; use 2.1 as a mildly conservative constant for
     // the small batch counts typical here.
     let half_width = 2.1 * (var / n).sqrt();
-    Ok(ConfidenceInterval { estimate: mean, half_width })
+    Ok(ConfidenceInterval {
+        estimate: mean,
+        half_width,
+    })
 }
 
 /// Simulates the net for `options.horizon` time units.
@@ -242,9 +247,22 @@ pub fn simulate<R: Rng>(
     let measured = options.horizon.saturating_sub(options.warmup);
     let resource_usage = usage_time
         .into_iter()
-        .map(|(k, v)| (k, if measured == 0 { 0.0 } else { v / measured as f64 }))
+        .map(|(k, v)| {
+            (
+                k,
+                if measured == 0 {
+                    0.0
+                } else {
+                    v / measured as f64
+                },
+            )
+        })
         .collect();
-    Ok(SimResult { resource_usage, completions, measured_time: measured })
+    Ok(SimResult {
+        resource_usage,
+        completions,
+        measured_time: measured,
+    })
 }
 
 #[cfg(test)]
@@ -287,7 +305,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let result = simulate(
             &net,
-            &SimOptions { horizon: 400_000, warmup: 10_000 },
+            &SimOptions {
+                horizon: 400_000,
+                warmup: 10_000,
+            },
             &mut rng,
         )
         .unwrap();
@@ -311,7 +332,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let result = simulate(
             &net,
-            &SimOptions { horizon: 200_000, warmup: 5_000 },
+            &SimOptions {
+                horizon: 200_000,
+                warmup: 5_000,
+            },
             &mut rng,
         )
         .unwrap();
@@ -333,7 +357,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let ci = confidence_interval(
             &net,
-            &SimOptions { horizon: 80_000, warmup: 8_000 },
+            &SimOptions {
+                horizon: 80_000,
+                warmup: 8_000,
+            },
             "lambda",
             8,
             &mut rng,
@@ -355,7 +382,10 @@ mod tests {
     #[test]
     fn deterministic_with_seed() {
         let net = geometric_net(5.0);
-        let opts = SimOptions { horizon: 50_000, warmup: 1_000 };
+        let opts = SimOptions {
+            horizon: 50_000,
+            warmup: 1_000,
+        };
         let a = simulate(&net, &opts, &mut StdRng::seed_from_u64(1)).unwrap();
         let b = simulate(&net, &opts, &mut StdRng::seed_from_u64(1)).unwrap();
         assert_eq!(a.completions, b.completions);

@@ -22,6 +22,42 @@ use crate::net::TransId;
 use crate::reach::ReachabilityGraph;
 use std::collections::HashMap;
 
+/// Reusable scratch buffers for [`ReachabilityGraph::solve_with`].
+///
+/// A sweep evaluates hundreds of points whose reachability graphs are the
+/// same size (or cached and literally the same graph); rebuilding the
+/// incoming-edge lists and self-loop vector for each solve is pure
+/// allocator churn. One workspace per worker thread keeps those buffers
+/// warm across points. The solution vector itself is always freshly
+/// allocated — it is moved into the returned [`Solution`].
+#[derive(Debug, Default)]
+pub struct SolveWorkspace {
+    /// `incoming[j]` = `(i, p)` edges into state `j`, self-loops excluded.
+    incoming: Vec<Vec<(usize, f64)>>,
+    /// Total self-loop probability of each state.
+    self_loop: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> SolveWorkspace {
+        SolveWorkspace::default()
+    }
+
+    /// Clears and resizes the buffers for a graph of `n` states, keeping
+    /// the per-state inner allocations.
+    fn reset(&mut self, n: usize) {
+        for list in self.incoming.iter_mut() {
+            list.clear();
+        }
+        if self.incoming.len() < n {
+            self.incoming.resize_with(n, Vec::new);
+        }
+        self.self_loop.clear();
+        self.self_loop.resize(n, 0.0);
+    }
+}
+
 /// Steady-state solution of a [`ReachabilityGraph`].
 #[derive(Debug, Clone)]
 pub struct Solution {
@@ -49,12 +85,23 @@ impl Solution {
         tolerance: f64,
         max_sweeps: usize,
     ) -> Result<Solution, GtpnError> {
+        Solution::solve_with(graph, tolerance, max_sweeps, &mut SolveWorkspace::new())
+    }
+
+    pub(crate) fn solve_with(
+        graph: &ReachabilityGraph,
+        tolerance: f64,
+        max_sweeps: usize,
+        ws: &mut SolveWorkspace,
+    ) -> Result<Solution, GtpnError> {
         let n = graph.states.len();
         assert!(n > 0, "empty reachability graph");
 
-        // Incoming edge lists with self-loop separation.
-        let mut incoming: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
-        let mut self_loop = vec![0.0f64; n];
+        // Incoming edge lists with self-loop separation, built into the
+        // workspace's reusable buffers.
+        ws.reset(n);
+        let incoming = &mut ws.incoming;
+        let self_loop = &mut ws.self_loop;
         for (i, outs) in graph.edges.iter().enumerate() {
             for &(j, p) in outs {
                 if i == j {
@@ -110,7 +157,10 @@ impl Solution {
             }
         }
         if residual >= tolerance {
-            return Err(GtpnError::NoConvergence { residual, iterations });
+            return Err(GtpnError::NoConvergence {
+                residual,
+                iterations,
+            });
         }
 
         // Time weighting.
@@ -156,7 +206,12 @@ impl Solution {
             resource_usage_map,
             resource_delay,
             transition_delays: graph.net.transitions.iter().map(|t| t.delay).collect(),
-            transition_names: graph.net.transitions.iter().map(|t| t.name.clone()).collect(),
+            transition_names: graph
+                .net
+                .transitions
+                .iter()
+                .map(|t| t.name.clone())
+                .collect(),
             iterations,
             residual,
         })
@@ -199,12 +254,19 @@ impl Solution {
             .resource_delay
             .get(resource)
             .ok_or_else(|| GtpnError::UnknownName(resource.to_string()))?;
-        Ok(if delay == 0 { usage } else { usage / delay as f64 })
+        Ok(if delay == 0 {
+            usage
+        } else {
+            usage / delay as f64
+        })
     }
 
     /// Usage of an individual transition.
     pub fn transition_usage(&self, transition: TransId) -> f64 {
-        self.transition_usage.get(transition.0).copied().unwrap_or(0.0)
+        self.transition_usage
+            .get(transition.0)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Completion rate of an individual transition (`usage / delay`).
@@ -331,9 +393,7 @@ mod tests {
         let u = s.resource_usage("lambda").unwrap();
         assert!((u - 0.6).abs() < 1e-9, "usage {u}");
         // Rate of b_exit alone = 1 completion per 10 units = 0.1.
-        let rate = s
-            .transition_usage_by_name("b_exit")
-            .unwrap();
+        let rate = s.transition_usage_by_name("b_exit").unwrap();
         assert!((rate - 0.1).abs() < 1e-9, "b_exit usage {rate}");
     }
 
@@ -345,13 +405,15 @@ mod tests {
         let a = net.add_place("A", 1);
         let b = net.add_place("B", 0);
         net.add_transition(
-            Transition::new("ab").delay(1).resource("x").input(a, 1).output(b, 1),
+            Transition::new("ab")
+                .delay(1)
+                .resource("x")
+                .input(a, 1)
+                .output(b, 1),
         )
         .unwrap();
-        net.add_transition(
-            Transition::new("ba").delay(3).input(b, 1).output(a, 1),
-        )
-        .unwrap();
+        net.add_transition(Transition::new("ba").delay(3).input(b, 1).output(a, 1))
+            .unwrap();
         let g = net.reachability(100).unwrap();
         let s = g.solve(1e-14, 100_000).unwrap();
         // "ab" fires 1 time unit out of every 4.
@@ -365,11 +427,19 @@ mod tests {
         let mut net = Net::new("norm");
         let p = net.add_place("P", 2);
         net.add_transition(
-            Transition::new("t1").delay(1).frequency(Expr::constant(0.5)).input(p, 1).output(p, 1),
+            Transition::new("t1")
+                .delay(1)
+                .frequency(Expr::constant(0.5))
+                .input(p, 1)
+                .output(p, 1),
         )
         .unwrap();
         net.add_transition(
-            Transition::new("t2").delay(2).frequency(Expr::constant(0.5)).input(p, 1).output(p, 1),
+            Transition::new("t2")
+                .delay(2)
+                .frequency(Expr::constant(0.5))
+                .input(p, 1)
+                .output(p, 1),
         )
         .unwrap();
         let g = net.reachability(1000).unwrap();
@@ -385,7 +455,8 @@ mod tests {
     fn unknown_names_error() {
         let mut net = Net::new("u");
         let p = net.add_place("P", 1);
-        net.add_transition(Transition::new("t").delay(1).input(p, 1).output(p, 1)).unwrap();
+        net.add_transition(Transition::new("t").delay(1).input(p, 1).output(p, 1))
+            .unwrap();
         let s = net.reachability(10).unwrap().solve(1e-12, 1000).unwrap();
         assert!(s.resource_usage("nope").is_err());
         assert!(s.transition_usage_by_name("nope").is_err());

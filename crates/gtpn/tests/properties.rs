@@ -11,17 +11,43 @@ use rand::SeedableRng;
 /// cycles through all of them.
 fn stage_ring(means: &[f64]) -> Net {
     let mut net = Net::new("ring");
-    let places: Vec<_> =
-        (0..means.len()).map(|i| net.add_place(format!("P{i}"), u32::from(i == 0))).collect();
+    let places: Vec<_> = (0..means.len())
+        .map(|i| net.add_place(format!("P{i}"), u32::from(i == 0)))
+        .collect();
     for (i, &m) in means.iter().enumerate() {
         let next = places[(i + 1) % places.len()];
-        let mut stage = GeometricStage::new(format!("S{i}"), m).input(places[i], 1).output(next, 1);
+        let mut stage = GeometricStage::new(format!("S{i}"), m)
+            .input(places[i], 1)
+            .output(next, 1);
         if i == 0 {
             stage = stage.resource("lambda");
         }
         stage.build(&mut net).unwrap();
     }
     net
+}
+
+/// Pinned regression from `properties.proptest-regressions`: a ring where
+/// one stage has mean exactly 1.0. That stage's geometric loop transition
+/// gets frequency `1 - 1/mean = 0` — a legal zero-frequency transition the
+/// reachability expansion must treat as never selected, not as a
+/// `BadFrequency` or a spurious conflict branch.
+#[test]
+fn tandem_cycle_rate_mean_one_stage() {
+    let means = [20.581752334812006, 1.0];
+    let net = stage_ring(&means);
+    let sol = net
+        .reachability(200_000)
+        .unwrap()
+        .solve(1e-12, 300_000)
+        .unwrap();
+    let total: f64 = means.iter().sum();
+    let usage = sol.resource_usage("lambda").unwrap();
+    let expect = 1.0 / total;
+    assert!(
+        (usage - expect).abs() < 1e-6 * expect.max(1e-3),
+        "means {means:?}: usage {usage} vs {expect}"
+    );
 }
 
 proptest! {

@@ -9,7 +9,7 @@
 //! Architecture I the host fields interrupts; on II–IV the MP does.
 
 use crate::stages::{clamp_mean, stage_mean};
-use crate::{ModelError, MAX_SWEEPS, STATE_BUDGET, TOLERANCE};
+use crate::ModelError;
 use archsim::timings::{ActivityKind as K, Architecture, Locality};
 use gtpn::geometric::GeometricStage;
 use gtpn::{Expr, Net, TransId};
@@ -60,7 +60,11 @@ pub fn build_with_hosts(
     let resp = net.add_place("RespArrived", 0);
 
     // The interrupt processor: host on I, MP on II-IV.
-    let intr_proc = if arch.has_mp() { net.add_place("MP", 1) } else { host };
+    let intr_proc = if arch.has_mp() {
+        net.add_place("MP", 1)
+    } else {
+        host
+    };
 
     // Cleanup (reply-packet interrupt processing) built first so the gating
     // expressions can name its transitions. On Architecture I the table's
@@ -85,7 +89,11 @@ pub fn build_with_hosts(
     } else {
         stage_mean(arch, loc, &[K::SyscallSend])
     };
-    let after_send = if arch.has_mp() { net.add_place("SendSubmitted", 0) } else { ready_dma };
+    let after_send = if arch.has_mp() {
+        net.add_place("SendSubmitted", 0)
+    } else {
+        ready_dma
+    };
     {
         let mut stage = GeometricStage::new("send", clamp_mean(send_mean))
             .input(clients, 1)
@@ -101,12 +109,15 @@ pub fn build_with_hosts(
 
     // MP processing of the send (II-IV), gated per Table 6.12's T3/T4.
     if arch.has_mp() {
-        GeometricStage::new("process_send", clamp_mean(stage_mean(arch, loc, &[K::ProcessSend])))
-            .input(after_send, 1)
-            .held(intr_proc)
-            .gate(g.clone())
-            .output(ready_dma, 1)
-            .build(&mut net)?;
+        GeometricStage::new(
+            "process_send",
+            clamp_mean(stage_mean(arch, loc, &[K::ProcessSend])),
+        )
+        .input(after_send, 1)
+        .held(intr_proc)
+        .gate(g.clone())
+        .output(ready_dma, 1)
+        .build(&mut net)?;
     }
 
     // Outgoing DMA (ungated in both table sets).
@@ -148,8 +159,7 @@ pub fn solve_with_hosts(
     hosts: u32,
 ) -> Result<ClientSolution, ModelError> {
     let net = build_with_hosts(arch, n, s_d, hosts)?;
-    let graph = net.reachability(STATE_BUDGET)?;
-    let sol = graph.solve(TOLERANCE, MAX_SWEEPS)?;
+    let (graph, sol) = crate::analyze(&net)?;
     let lambda = sol.resource_usage("lambda")?;
     Ok(ClientSolution {
         lambda_per_us: lambda,
@@ -172,7 +182,14 @@ mod tests {
         let expect = stage_mean(
             Architecture::MessageCoprocessor,
             loc,
-            &[K::SyscallSend, K::RestartClient, K::ProcessSend, K::DmaOut, K::DmaIn, K::CleanupClient],
+            &[
+                K::SyscallSend,
+                K::RestartClient,
+                K::ProcessSend,
+                K::DmaOut,
+                K::DmaIn,
+                K::CleanupClient,
+            ],
         ) + s_d;
         assert!(
             (c.cycle_us - expect).abs() / expect < 0.02,

@@ -11,7 +11,7 @@
 //! completion rate is its "contention" completion time — the numbers in the
 //! tables' Contention columns.
 
-use crate::{ModelError, MAX_SWEEPS, STATE_BUDGET, TOLERANCE};
+use crate::ModelError;
 use gtpn::{Expr, Net, Transition};
 
 /// One contending activity: a name, its pure completion time (the "Best"
@@ -60,7 +60,9 @@ pub fn build(activities: &[ContendingActivity]) -> Result<Net, ModelError> {
                 .frequency(Expr::If(
                     Box::new(port_free),
                     Box::new(Expr::constant(cpu_f)),
-                    Box::new(Expr::constant((1.0 - mem_f - exit_f * (1.0 - mem_f)).max(0.0))),
+                    Box::new(Expr::constant(
+                        (1.0 - mem_f - exit_f * (1.0 - mem_f)).max(0.0),
+                    )),
                 ))
                 .input(p, 1)
                 .output(p, 1),
@@ -91,8 +93,7 @@ pub fn build(activities: &[ContendingActivity]) -> Result<Net, ModelError> {
 /// completion time (µs), in input order.
 pub fn completion_times(activities: &[ContendingActivity]) -> Result<Vec<f64>, ModelError> {
     let net = build(activities)?;
-    let graph = net.reachability(STATE_BUDGET)?;
-    let sol = graph.solve(TOLERANCE, MAX_SWEEPS)?;
+    let (_graph, sol) = crate::analyze(&net)?;
     activities
         .iter()
         .map(|a| {
@@ -104,10 +105,26 @@ pub fn completion_times(activities: &[ContendingActivity]) -> Result<Vec<f64>, M
 
 /// The Table 6.2 mix: architecture I non-local client-node activities.
 pub const TABLE_6_2: &[ContendingActivity] = &[
-    ContendingActivity { name: "SendProc", best_us: 1290.0, memory_us: 150.0 },
-    ContendingActivity { name: "DMAout", best_us: 230.0, memory_us: 30.0 },
-    ContendingActivity { name: "DMAin", best_us: 230.0, memory_us: 30.0 },
-    ContendingActivity { name: "NetIntr", best_us: 960.0, memory_us: 130.0 },
+    ContendingActivity {
+        name: "SendProc",
+        best_us: 1290.0,
+        memory_us: 150.0,
+    },
+    ContendingActivity {
+        name: "DMAout",
+        best_us: 230.0,
+        memory_us: 30.0,
+    },
+    ContendingActivity {
+        name: "DMAin",
+        best_us: 230.0,
+        memory_us: 30.0,
+    },
+    ContendingActivity {
+        name: "NetIntr",
+        best_us: 960.0,
+        memory_us: 130.0,
+    },
 ];
 
 #[cfg(test)]
@@ -122,7 +139,12 @@ mod tests {
         let times = completion_times(TABLE_6_2).unwrap();
         let published = [1314.9, 235.2, 235.2, 982.0];
         for ((a, &got), &want) in TABLE_6_2.iter().zip(&times).zip(&published) {
-            assert!(got > a.best_us, "{}: {got} should exceed best {}", a.name, a.best_us);
+            assert!(
+                got > a.best_us,
+                "{}: {got} should exceed best {}",
+                a.name,
+                a.best_us
+            );
             let rel = (got - want).abs() / want;
             assert!(rel < 0.03, "{}: got {got}, published {want}", a.name);
         }
@@ -130,7 +152,11 @@ mod tests {
 
     #[test]
     fn no_contention_for_a_single_activity() {
-        let only = [ContendingActivity { name: "solo", best_us: 500.0, memory_us: 100.0 }];
+        let only = [ContendingActivity {
+            name: "solo",
+            best_us: 500.0,
+            memory_us: 100.0,
+        }];
         let t = completion_times(&only).unwrap();
         assert!((t[0] - 500.0).abs() / 500.0 < 0.01, "{}", t[0]);
     }
@@ -138,8 +164,16 @@ mod tests {
     #[test]
     fn memory_free_activity_never_inflates() {
         let acts = [
-            ContendingActivity { name: "pure", best_us: 400.0, memory_us: 0.0 },
-            ContendingActivity { name: "hog", best_us: 100.0, memory_us: 90.0 },
+            ContendingActivity {
+                name: "pure",
+                best_us: 400.0,
+                memory_us: 0.0,
+            },
+            ContendingActivity {
+                name: "hog",
+                best_us: 100.0,
+                memory_us: 90.0,
+            },
         ];
         let t = completion_times(&acts).unwrap();
         assert!((t[0] - 400.0).abs() / 400.0 < 0.01, "pure: {}", t[0]);

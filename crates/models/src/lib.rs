@@ -66,7 +66,10 @@ impl std::fmt::Display for ModelError {
         match self {
             ModelError::Gtpn(e) => write!(f, "GTPN analysis failed: {e}"),
             ModelError::NoFixedPoint { iterations, delta } => {
-                write!(f, "client/server iteration stalled after {iterations} rounds (Δ={delta:.3e})")
+                write!(
+                    f,
+                    "client/server iteration stalled after {iterations} rounds (Δ={delta:.3e})"
+                )
             }
         }
     }
@@ -78,4 +81,25 @@ impl From<gtpn::GtpnError> for ModelError {
     fn from(e: gtpn::GtpnError) -> ModelError {
         ModelError::Gtpn(e)
     }
+}
+
+/// Expands and solves a chapter-6 net under the default budgets, going
+/// through the global reachability cache and a per-thread solver workspace.
+///
+/// The sweeps re-solve structurally identical nets constantly — several
+/// figures share points, and the §6.6.3 fixed point revisits the same
+/// client/server nets across iterations — so the reachability graph comes
+/// from [`gtpn::cache`] and the Gauss–Seidel scratch buffers are reused
+/// across every solve a worker thread performs.
+pub(crate) fn analyze(
+    net: &gtpn::Net,
+) -> Result<(std::sync::Arc<gtpn::ReachabilityGraph>, gtpn::Solution), ModelError> {
+    use std::cell::RefCell;
+    thread_local! {
+        static WORKSPACE: RefCell<gtpn::SolveWorkspace> =
+            RefCell::new(gtpn::SolveWorkspace::new());
+    }
+    let graph = gtpn::cache::reachability(net, STATE_BUDGET)?;
+    let sol = WORKSPACE.with(|ws| graph.solve_with(TOLERANCE, MAX_SWEEPS, &mut ws.borrow_mut()))?;
+    Ok((graph, sol))
 }

@@ -18,7 +18,7 @@
 //! small).
 
 use crate::stages::{clamp_mean, stage_mean};
-use crate::{ModelError, MAX_SWEEPS, STATE_BUDGET, TOLERANCE};
+use crate::ModelError;
 use archsim::timings::{ActivityKind as K, Architecture, Locality};
 use gtpn::geometric::GeometricStage;
 use gtpn::Net;
@@ -63,8 +63,7 @@ pub fn build_with_hosts(
         let recv_done = net.add_place("RecvDone", 0);
         let client_mean = stage_mean(arch, loc, &[K::SyscallSend, K::RestartClient]);
         let server_mean = stage_mean(arch, loc, &[K::SyscallReceive, K::RestartServer]);
-        let rendezvous_mean =
-            stage_mean(arch, loc, &[K::Match, K::SyscallReply]) + x_us;
+        let rendezvous_mean = stage_mean(arch, loc, &[K::Match, K::SyscallReply]) + x_us;
         GeometricStage::new("client", clamp_mean(client_mean))
             .input(clients, 1)
             .held(host)
@@ -104,11 +103,14 @@ pub fn build_with_hosts(
         .held(host)
         .output(sent, 1)
         .build(&mut net)?;
-    GeometricStage::new("process_send", clamp_mean(stage_mean(arch, loc, &[K::ProcessSend])))
-        .input(sent, 1)
-        .held(mp)
-        .output(send_p, 1)
-        .build(&mut net)?;
+    GeometricStage::new(
+        "process_send",
+        clamp_mean(stage_mean(arch, loc, &[K::ProcessSend])),
+    )
+    .input(sent, 1)
+    .held(mp)
+    .output(send_p, 1)
+    .build(&mut net)?;
     GeometricStage::new("server_syscall", clamp_mean(server_mean))
         .input(servers, 1)
         .held(host)
@@ -133,13 +135,16 @@ pub fn build_with_hosts(
         .held(host)
         .output(replied, 1)
         .build(&mut net)?;
-    GeometricStage::new("process_reply", clamp_mean(stage_mean(arch, loc, &[K::ProcessReply])))
-        .input(replied, 1)
-        .held(mp)
-        .output(clients, 1)
-        .output(servers, 1)
-        .resource("lambda")
-        .build(&mut net)?;
+    GeometricStage::new(
+        "process_reply",
+        clamp_mean(stage_mean(arch, loc, &[K::ProcessReply])),
+    )
+    .input(replied, 1)
+    .held(mp)
+    .output(clients, 1)
+    .output(servers, 1)
+    .resource("lambda")
+    .build(&mut net)?;
     Ok(net)
 }
 
@@ -156,11 +161,13 @@ pub fn solve_with_hosts(
     hosts: u32,
 ) -> Result<LocalSolution, ModelError> {
     let net = build_with_hosts(arch, n, x_us, hosts)?;
-    let graph = net.reachability(STATE_BUDGET)?;
-    let sol = graph.solve(TOLERANCE, MAX_SWEEPS)?;
+    let (graph, sol) = crate::analyze(&net)?;
     // `lambda` sits on delay-1 exit transitions: usage == rate per µs.
     let per_us = sol.resource_usage("lambda")?;
-    Ok(LocalSolution { throughput_per_ms: per_us * 1_000.0, states: graph.state_count() })
+    Ok(LocalSolution {
+        throughput_per_ms: per_us * 1_000.0,
+        states: graph.state_count(),
+    })
 }
 
 #[cfg(test)]
@@ -175,7 +182,12 @@ mod tests {
         let t1 = solve(Architecture::Uniprocessor, 1, 0.0).unwrap();
         let t3 = solve(Architecture::Uniprocessor, 3, 0.0).unwrap();
         let rel = (t3.throughput_per_ms - t1.throughput_per_ms) / t1.throughput_per_ms;
-        assert!(rel.abs() < 0.02, "t1 {} t3 {}", t1.throughput_per_ms, t3.throughput_per_ms);
+        assert!(
+            rel.abs() < 0.02,
+            "t1 {} t3 {}",
+            t1.throughput_per_ms,
+            t3.throughput_per_ms
+        );
         // And it matches 1/C with C = 4.97 ms.
         assert!(
             (t1.throughput_per_ms - 1_000.0 / 4_970.0).abs() / (1_000.0 / 4_970.0) < 0.02,

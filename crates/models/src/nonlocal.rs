@@ -102,7 +102,10 @@ pub fn solve_with_hosts(
             });
         }
     }
-    Err(ModelError::NoFixedPoint { iterations: MAX_ITERATIONS, delta })
+    Err(ModelError::NoFixedPoint {
+        iterations: MAX_ITERATIONS,
+        delta,
+    })
 }
 
 #[cfg(test)]

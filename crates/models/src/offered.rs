@@ -8,8 +8,9 @@
 use archsim::timings::{offered_load, Architecture, Locality};
 
 /// The server times (ms) of Tables 6.24/6.25.
-pub const SERVER_TIMES_MS: [f64; 13] =
-    [0.0, 0.57, 1.14, 1.71, 2.85, 5.7, 11.4, 17.1, 22.8, 28.5, 34.2, 39.9, 45.6];
+pub const SERVER_TIMES_MS: [f64; 13] = [
+    0.0, 0.57, 1.14, 1.71, 2.85, 5.7, 11.4, 17.1, 22.8, 28.5, 34.2, 39.9, 45.6,
+];
 
 /// One row of Table 6.24/6.25: server time and the offered load under each
 /// architecture.
@@ -21,20 +22,23 @@ pub struct OfferedLoadRow {
     pub loads: [f64; 4],
 }
 
+/// Computes one row of Table 6.24/6.25 — an independent sweep point.
+pub fn row(locality: Locality, server_ms: f64) -> OfferedLoadRow {
+    let s_us = server_ms * 1_000.0;
+    let loads = [
+        offered_load(Architecture::Uniprocessor, locality, s_us),
+        offered_load(Architecture::MessageCoprocessor, locality, s_us),
+        offered_load(Architecture::SmartBus, locality, s_us),
+        offered_load(Architecture::PartitionedSmartBus, locality, s_us),
+    ];
+    OfferedLoadRow { server_ms, loads }
+}
+
 /// Computes the full table for `locality`.
 pub fn table(locality: Locality) -> Vec<OfferedLoadRow> {
     SERVER_TIMES_MS
         .iter()
-        .map(|&server_ms| {
-            let s_us = server_ms * 1_000.0;
-            let loads = [
-                offered_load(Architecture::Uniprocessor, locality, s_us),
-                offered_load(Architecture::MessageCoprocessor, locality, s_us),
-                offered_load(Architecture::SmartBus, locality, s_us),
-                offered_load(Architecture::PartitionedSmartBus, locality, s_us),
-            ];
-            OfferedLoadRow { server_ms, loads }
-        })
+        .map(|&server_ms| row(locality, server_ms))
         .collect()
 }
 
@@ -75,7 +79,10 @@ mod tests {
     fn spot_check_table_6_24() {
         // S = 1.14 ms local, architecture I: 0.813.
         let t = table(Locality::Local);
-        let row = t.iter().find(|r| (r.server_ms - 1.14).abs() < 1e-9).unwrap();
+        let row = t
+            .iter()
+            .find(|r| (r.server_ms - 1.14).abs() < 1e-9)
+            .unwrap();
         assert!((row.loads[0] - 0.813).abs() < 0.005, "{}", row.loads[0]);
         // Architecture IV always offers the least load for a given S.
         for r in &t[1..] {

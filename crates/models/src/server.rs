@@ -11,7 +11,7 @@
 //! law — the quantity the paper instruments with its `Queue` place.
 
 use crate::stages::{clamp_mean, stage_mean};
-use crate::{ModelError, MAX_SWEEPS, STATE_BUDGET, TOLERANCE};
+use crate::ModelError;
 use archsim::timings::{ActivityKind as K, Architecture, Locality};
 use gtpn::geometric::GeometricStage;
 use gtpn::{Expr, Net, PlaceId, TransId};
@@ -50,7 +50,11 @@ fn build(arch: Architecture, n: u32, x_us: f64, c_d: f64, hosts: u32) -> Result<
     let waiting = net.add_place("ClientWait", 0);
     let req_pending = net.add_place("ReqPending", 0);
     let matched = net.add_place("Matched", 0);
-    let intr_proc = if arch.has_mp() { net.add_place("MP", 1) } else { host };
+    let intr_proc = if arch.has_mp() {
+        net.add_place("MP", 1)
+    } else {
+        host
+    };
 
     // Match (interrupt-priority work) first, for the gate expressions.
     let match_stage = GeometricStage::new("match", clamp_mean(stage_mean(arch, loc, &[K::Match])))
@@ -71,7 +75,11 @@ fn build(arch: Architecture, n: u32, x_us: f64, c_d: f64, hosts: u32) -> Result<
     } else {
         stage_mean(arch, loc, &[K::SyscallReceive])
     };
-    let after_recv = if arch.has_mp() { net.add_place("RecvSubmitted", 0) } else { waiting };
+    let after_recv = if arch.has_mp() {
+        net.add_place("RecvSubmitted", 0)
+    } else {
+        waiting
+    };
     {
         let mut stage = GeometricStage::new("recv_host", clamp_mean(recv_host_mean))
             .input(servers, 1)
@@ -127,7 +135,14 @@ fn build(arch: Architecture, n: u32, x_us: f64, c_d: f64, hosts: u32) -> Result<
         .build(&mut net)?;
         system_stages.push(run);
         system_stages.push(reply);
-        Ok(Built { net, req_pending, matched, run_done: Some(run_done), system_stages, s_c_us })
+        Ok(Built {
+            net,
+            req_pending,
+            matched,
+            run_done: Some(run_done),
+            system_stages,
+            s_c_us,
+        })
     } else {
         // Architecture I: the reply syscall completes the service.
         let run = GeometricStage::new("server_run", clamp_mean(run_mean))
@@ -138,13 +153,25 @@ fn build(arch: Architecture, n: u32, x_us: f64, c_d: f64, hosts: u32) -> Result<
             .resource("served")
             .build(&mut net)?;
         system_stages.push(run);
-        Ok(Built { net, req_pending, matched, run_done: None, system_stages, s_c_us })
+        Ok(Built {
+            net,
+            req_pending,
+            matched,
+            run_done: None,
+            system_stages,
+            s_c_us,
+        })
     }
 }
 
 /// Builds and solves the server model for compute time `x_us` and surrogate
 /// client delay `c_d` µs.
-pub fn solve(arch: Architecture, n: u32, x_us: f64, c_d: f64) -> Result<ServerSolution, ModelError> {
+pub fn solve(
+    arch: Architecture,
+    n: u32,
+    x_us: f64,
+    c_d: f64,
+) -> Result<ServerSolution, ModelError> {
     solve_with_hosts(arch, n, x_us, c_d, 1)
 }
 
@@ -157,13 +184,12 @@ pub fn solve_with_hosts(
     hosts: u32,
 ) -> Result<ServerSolution, ModelError> {
     let built = build(arch, n, x_us, c_d, hosts)?;
-    let graph = built.net.reachability(STATE_BUDGET)?;
-    let sol = graph.solve(TOLERANCE, MAX_SWEEPS)?;
+    let (graph, sol) = crate::analyze(&built.net)?;
     let lambda = sol.resource_usage("arrival")?;
     // Customers in system: queued requests + tokens between stages + all
     // in-progress service firings.
-    let mut n_sys = graph.mean_tokens(&sol, built.req_pending)
-        + graph.mean_tokens(&sol, built.matched);
+    let mut n_sys =
+        graph.mean_tokens(&sol, built.req_pending) + graph.mean_tokens(&sol, built.matched);
     if let Some(p) = built.run_done {
         n_sys += graph.mean_tokens(&sol, p);
     }
@@ -208,7 +234,12 @@ mod tests {
         // raw service chain.
         let light = solve(Architecture::MessageCoprocessor, 1, 0.0, 20_000.0).unwrap();
         let heavy = solve(Architecture::MessageCoprocessor, 4, 0.0, 1_000.0).unwrap();
-        assert!(heavy.s_d_us > light.s_d_us * 1.2, "{} vs {}", heavy.s_d_us, light.s_d_us);
+        assert!(
+            heavy.s_d_us > light.s_d_us * 1.2,
+            "{} vs {}",
+            heavy.s_d_us,
+            light.s_d_us
+        );
     }
 
     #[test]

@@ -47,7 +47,11 @@ mod tests {
     #[test]
     fn missing_activities_contribute_zero() {
         // Architecture I has no ProcessSend.
-        let m = stage_mean(Architecture::Uniprocessor, Locality::Local, &[K::ProcessSend]);
+        let m = stage_mean(
+            Architecture::Uniprocessor,
+            Locality::Local,
+            &[K::ProcessSend],
+        );
         assert_eq!(m, 0.0);
         assert_eq!(clamp_mean(m), 1.0);
     }

@@ -42,7 +42,11 @@ impl ValidationPoint {
 /// # Errors
 ///
 /// Propagates model-solution failures.
-pub fn compare(conversations: u32, server_us: f64, seed: u64) -> Result<ValidationPoint, ModelError> {
+pub fn compare(
+    conversations: u32,
+    server_us: f64,
+    seed: u64,
+) -> Result<ValidationPoint, ModelError> {
     let model = nonlocal::solve(Architecture::MessageCoprocessor, conversations, server_us)?;
     let spec = WorkloadSpec {
         conversations: conversations as usize,
@@ -72,8 +76,12 @@ pub fn compare_two_hosts(
     server_us: f64,
     seed: u64,
 ) -> Result<ValidationPoint, ModelError> {
-    let model =
-        nonlocal::solve_with_hosts(Architecture::MessageCoprocessor, conversations, server_us, 2)?;
+    let model = nonlocal::solve_with_hosts(
+        Architecture::MessageCoprocessor,
+        conversations,
+        server_us,
+        2,
+    )?;
     let spec = WorkloadSpec {
         conversations: conversations as usize,
         server_compute_us: server_us,
@@ -82,8 +90,7 @@ pub fn compare_two_hosts(
         warmup_us: 400_000.0,
         seed,
     };
-    let measured =
-        Simulation::with_hosts(Architecture::MessageCoprocessor, &spec, 2).run();
+    let measured = Simulation::with_hosts(Architecture::MessageCoprocessor, &spec, 2).run();
     Ok(ValidationPoint {
         conversations,
         server_us,
@@ -100,14 +107,24 @@ mod tests {
     fn one_conversation_agrees_closely() {
         // Figure 6.15(a): within a few percent for one conversation.
         let p = compare(1, 2_850.0, 11).unwrap();
-        assert!(p.deviation() < 0.10, "model {} vs measured {}", p.model_per_ms, p.measured_per_ms);
+        assert!(
+            p.deviation() < 0.10,
+            "model {} vs measured {}",
+            p.model_per_ms,
+            p.measured_per_ms
+        );
     }
 
     #[test]
     fn high_load_agreement_within_band() {
         // Figure 6.15(b/c) at high offered load (small server time).
         let p = compare(3, 570.0, 12).unwrap();
-        assert!(p.deviation() < 0.15, "model {} vs measured {}", p.model_per_ms, p.measured_per_ms);
+        assert!(
+            p.deviation() < 0.15,
+            "model {} vs measured {}",
+            p.model_per_ms,
+            p.measured_per_ms
+        );
     }
 
     #[test]
@@ -128,7 +145,12 @@ mod tests {
         // while the experiment binds tasks — at computation-heavy loads the
         // model over-predicts. Allow the paper's ~25% band.
         let p = compare(3, 11_400.0, 13).unwrap();
-        assert!(p.deviation() < 0.30, "model {} vs measured {}", p.model_per_ms, p.measured_per_ms);
+        assert!(
+            p.deviation() < 0.30,
+            "model {} vs measured {}",
+            p.model_per_ms,
+            p.measured_per_ms
+        );
         assert!(
             p.model_per_ms > p.measured_per_ms * 0.95,
             "model should not be pessimistic here: {} vs {}",

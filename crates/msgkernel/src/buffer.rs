@@ -24,7 +24,10 @@ pub struct BufferPool {
 impl BufferPool {
     /// Creates a pool of `capacity` buffers, all free.
     pub fn new(capacity: usize) -> BufferPool {
-        BufferPool { free: (0..capacity as u32).map(BufferId).collect(), capacity }
+        BufferPool {
+            free: (0..capacity as u32).map(BufferId).collect(),
+            capacity,
+        }
     }
 
     /// Total buffers in the pool.
@@ -54,7 +57,10 @@ impl BufferPool {
             !self.free.contains(&buffer),
             "double release of kernel buffer {buffer:?}"
         );
-        assert!((buffer.0 as usize) < self.capacity, "foreign buffer {buffer:?}");
+        assert!(
+            (buffer.0 as usize) < self.capacity,
+            "foreign buffer {buffer:?}"
+        );
         self.free.push_back(buffer);
     }
 }

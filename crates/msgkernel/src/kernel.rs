@@ -352,7 +352,9 @@ impl Kernel {
     /// ordered by task scheduling priority" (FCFS among equals).
     fn priority_position(&self, list: &VecDeque<TaskId>, task: TaskId) -> usize {
         let p = self.priority_of(task);
-        list.iter().position(|&t| self.priority_of(t) < p).unwrap_or(list.len())
+        list.iter()
+            .position(|&t| self.priority_of(t) < p)
+            .unwrap_or(list.len())
     }
 
     /// Host side: the task issues a communication request and moves to the
@@ -482,7 +484,11 @@ impl Kernel {
                 events.push(KernelEvent::InquireResult { task, ready });
                 self.make_runnable(task, &mut events);
             }
-            Syscall::MemoryMove { direction, local_offset, length } => {
+            Syscall::MemoryMove {
+                direction,
+                local_offset,
+                length,
+            } => {
                 self.do_memory_move(task, direction, local_offset, length)?;
                 self.make_runnable(task, &mut events);
             }
@@ -521,7 +527,12 @@ impl Kernel {
             events.push(KernelEvent::PacketOut(Packet {
                 from: self.node,
                 to: to.node,
-                body: PacketBody::SendMsg { service: to.service, client, message, await_reply },
+                body: PacketBody::SendMsg {
+                    service: to.service,
+                    client,
+                    message,
+                    await_reply,
+                },
             }));
             self.after_send(client, mode, events);
             return Ok(());
@@ -537,7 +548,8 @@ impl Kernel {
                 // Block the client on the resource; retry when a buffer
                 // frees (§3.2.3).
                 self.stats.buffer_stalls += 1;
-                self.requests.insert(client, Syscall::Send { to, message, mode });
+                self.requests
+                    .insert(client, Syscall::Send { to, message, mode });
                 self.resource_waiters.push_back(client);
                 events.push(KernelEvent::BufferShortage(client));
                 self.stop(client, events);
@@ -548,7 +560,11 @@ impl Kernel {
 
     /// `Wait` (§4.2.1): returns immediately when the awaited response has
     /// already arrived; otherwise the client stops until it does.
-    fn do_wait(&mut self, client: TaskId, events: &mut Vec<KernelEvent>) -> Result<(), KernelError> {
+    fn do_wait(
+        &mut self,
+        client: TaskId,
+        events: &mut Vec<KernelEvent>,
+    ) -> Result<(), KernelError> {
         match self.completions.get(&client).copied() {
             Some(true) => {
                 self.completions.remove(&client);
@@ -564,7 +580,11 @@ impl Kernel {
         Ok(())
     }
 
-    fn do_receive(&mut self, server: TaskId, events: &mut Vec<KernelEvent>) -> Result<(), KernelError> {
+    fn do_receive(
+        &mut self,
+        server: TaskId,
+        events: &mut Vec<KernelEvent>,
+    ) -> Result<(), KernelError> {
         let offers = self.task(server)?.offers.clone();
         if offers.is_empty() {
             return Err(KernelError::NoOffers(server));
@@ -619,13 +639,22 @@ impl Kernel {
         if let Some(rt) = qm.reply_to {
             self.rendezvous.insert(
                 server,
-                RendezvousInfo { reply_to: rt, memory_ref: qm.message.memory_ref, local_client },
+                RendezvousInfo {
+                    reply_to: rt,
+                    memory_ref: qm.message.memory_ref,
+                    local_client,
+                },
             );
         }
         self.task_mut(server)?.delivered = Some(qm.message);
         self.stats.deliveries += 1;
         events.push(KernelEvent::Delivered { server });
-        if let Some(h) = self.services.get(sid.0 as usize).and_then(Option::as_ref).and_then(|s| s.handler) {
+        if let Some(h) = self
+            .services
+            .get(sid.0 as usize)
+            .and_then(Option::as_ref)
+            .and_then(|s| s.handler)
+        {
             events.push(KernelEvent::HandlerInvoked { server, handler: h });
         }
         self.make_runnable(server, events);
@@ -651,7 +680,9 @@ impl Kernel {
                 events.extend(evs);
                 continue;
             }
-            let Some(task) = self.resource_waiters.pop_front() else { break };
+            let Some(task) = self.resource_waiters.pop_front() else {
+                break;
+            };
             self.communication_list.push_front(task);
             if let Ok(t) = self.task_mut(task) {
                 t.state = TaskState::Communicating;
@@ -681,7 +712,10 @@ impl Kernel {
                 events.push(KernelEvent::PacketOut(Packet {
                     from: self.node,
                     to: node,
-                    body: PacketBody::ReplyMsg { client: task, message },
+                    body: PacketBody::ReplyMsg {
+                        client: task,
+                        message,
+                    },
                 }));
             }
         }
@@ -719,10 +753,16 @@ impl Kernel {
         }
         match direction {
             MoveDirection::FromClient if !mref.rights.read => {
-                return Err(KernelError::AccessViolation { task: server, reason: "no read right" });
+                return Err(KernelError::AccessViolation {
+                    task: server,
+                    reason: "no read right",
+                });
             }
             MoveDirection::ToClient if !mref.rights.write => {
-                return Err(KernelError::AccessViolation { task: server, reason: "no write right" });
+                return Err(KernelError::AccessViolation {
+                    task: server,
+                    reason: "no write right",
+                });
             }
             _ => {}
         }
@@ -740,13 +780,11 @@ impl Kernel {
         // but the checker cannot know that.
         match direction {
             MoveDirection::FromClient => {
-                let data =
-                    self.task(client)?.address_space[c_off..c_off + len].to_vec();
+                let data = self.task(client)?.address_space[c_off..c_off + len].to_vec();
                 self.task_mut(server)?.address_space[s_off..s_off + len].copy_from_slice(&data);
             }
             MoveDirection::ToClient => {
-                let data =
-                    self.task(server)?.address_space[s_off..s_off + len].to_vec();
+                let data = self.task(server)?.address_space[s_off..s_off + len].to_vec();
                 self.task_mut(client)?.address_space[c_off..c_off + len].copy_from_slice(&data);
             }
         }
@@ -806,14 +844,21 @@ impl Kernel {
             if let Some(rt) = reply_to {
                 self.rendezvous.insert(
                     server,
-                    RendezvousInfo { reply_to: rt, memory_ref: message.memory_ref, local_client },
+                    RendezvousInfo {
+                        reply_to: rt,
+                        memory_ref: message.memory_ref,
+                        local_client,
+                    },
                 );
             }
             self.task_mut(server)?.delivered = Some(message);
             self.stats.deliveries += 1;
             events.push(KernelEvent::Delivered { server });
-            if let Some(h) =
-                self.services.get(sid.0 as usize).and_then(Option::as_ref).and_then(|s| s.handler)
+            if let Some(h) = self
+                .services
+                .get(sid.0 as usize)
+                .and_then(Option::as_ref)
+                .and_then(|s| s.handler)
             {
                 events.push(KernelEvent::HandlerInvoked { server, handler: h });
             }
@@ -847,9 +892,16 @@ impl Kernel {
         let mut events = Vec::new();
         self.stats.packets_in += 1;
         match packet.body {
-            PacketBody::SendMsg { service, client, message, await_reply } => {
-                let reply_to =
-                    await_reply.then_some(ReplyTo::Remote { node: packet.from, task: client });
+            PacketBody::SendMsg {
+                service,
+                client,
+                message,
+                await_reply,
+            } => {
+                let reply_to = await_reply.then_some(ReplyTo::Remote {
+                    node: packet.from,
+                    task: client,
+                });
                 match self.deliver_to_service(service, message, reply_to, &mut events)? {
                     Delivery::Direct | Delivery::Queued => {}
                     Delivery::NoBuffer => {
@@ -859,7 +911,12 @@ impl Kernel {
                         self.pending_packets.push_back(Packet {
                             from: packet.from,
                             to: packet.to,
-                            body: PacketBody::SendMsg { service, client, message, await_reply },
+                            body: PacketBody::SendMsg {
+                                service,
+                                client,
+                                message,
+                                await_reply,
+                            },
                         });
                     }
                 }
@@ -1006,7 +1063,10 @@ mod tests {
     }
 
     fn addr(k: &Kernel, s: ServiceId) -> ServiceAddr {
-        ServiceAddr { node: k.node(), service: s }
+        ServiceAddr {
+            node: k.node(),
+            service: s,
+        }
     }
 
     #[test]
@@ -1026,20 +1086,43 @@ mod tests {
         // Client sends: rendezvous, server runnable with the message,
         // client stopped awaiting reply.
         let msg = Message::from_bytes(b"ping");
-        k.submit(client, Syscall::Send { to: addr(&k, svc), message: msg, mode: SendMode::invocation() })
-            .unwrap();
+        k.submit(
+            client,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: msg,
+                mode: SendMode::invocation(),
+            },
+        )
+        .unwrap();
         let events = drain(&mut k);
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::Delivered { server: s } if *s == server)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::Delivered { server: s } if *s == server)));
         assert_eq!(k.task(client).unwrap().state, TaskState::Stopped);
         assert_eq!(k.task(server).unwrap().state, TaskState::Computing);
-        assert_eq!(&k.task(server).unwrap().delivered.unwrap().data[..4], b"ping");
+        assert_eq!(
+            &k.task(server).unwrap().delivered.unwrap().data[..4],
+            b"ping"
+        );
 
         // Server replies: client runnable with the reply.
-        k.submit(server, Syscall::Reply { message: Message::from_bytes(b"pong") }).unwrap();
+        k.submit(
+            server,
+            Syscall::Reply {
+                message: Message::from_bytes(b"pong"),
+            },
+        )
+        .unwrap();
         let events = drain(&mut k);
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::ReplyDelivered { client: c } if *c == client)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::ReplyDelivered { client: c } if *c == client)));
         assert_eq!(k.task(client).unwrap().state, TaskState::Computing);
-        assert_eq!(&k.task(client).unwrap().delivered.unwrap().data[..4], b"pong");
+        assert_eq!(
+            &k.task(client).unwrap().delivered.unwrap().data[..4],
+            b"pong"
+        );
     }
 
     #[test]
@@ -1050,18 +1133,23 @@ mod tests {
         let svc = k.create_service("s");
         k.submit(server, Syscall::Offer { service: svc }).unwrap();
         drain(&mut k);
-        k.submit(client, Syscall::Send {
-            to: addr(&k, svc),
-            message: Message::from_bytes(b"x"),
-            mode: SendMode::invocation(),
-        })
+        k.submit(
+            client,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: Message::from_bytes(b"x"),
+                mode: SendMode::invocation(),
+            },
+        )
         .unwrap();
         drain(&mut k);
         // One buffer held by the queued message.
         assert_eq!(k.buffers_available(), 7);
         k.submit(server, Syscall::Receive).unwrap();
         let events = drain(&mut k);
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::Delivered { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::Delivered { .. })));
         // Buffer released on delivery.
         assert_eq!(k.buffers_available(), 8);
     }
@@ -1071,11 +1159,14 @@ mod tests {
         let mut k = kernel();
         let client = k.create_task("client", 1, 64);
         let svc = k.create_service("log");
-        k.submit(client, Syscall::Send {
-            to: addr(&k, svc),
-            message: Message::empty(),
-            mode: SendMode::NoWait,
-        })
+        k.submit(
+            client,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: Message::empty(),
+                mode: SendMode::NoWait,
+            },
+        )
         .unwrap();
         drain(&mut k);
         assert_eq!(k.task(client).unwrap().state, TaskState::Computing);
@@ -1091,33 +1182,65 @@ mod tests {
         k.submit(server, Syscall::Offer { service: svc }).unwrap();
         drain(&mut k);
         // Two queued sends with one buffer: the second stalls.
-        k.submit(c1, Syscall::Send { to: addr(&k, svc), message: Message::empty(), mode: SendMode::invocation() }).unwrap();
-        k.submit(c2, Syscall::Send { to: addr(&k, svc), message: Message::empty(), mode: SendMode::invocation() }).unwrap();
+        k.submit(
+            c1,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: Message::empty(),
+                mode: SendMode::invocation(),
+            },
+        )
+        .unwrap();
+        k.submit(
+            c2,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: Message::empty(),
+                mode: SendMode::invocation(),
+            },
+        )
+        .unwrap();
         let events = drain(&mut k);
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::BufferShortage(t) if *t == c2)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::BufferShortage(t) if *t == c2)));
         assert_eq!(k.stats().buffer_stalls, 1);
         // Server receives c1's message: buffer frees, c2's send retries.
         k.submit(server, Syscall::Receive).unwrap();
         drain(&mut k);
         // c2's message is now queued on the service.
         assert_eq!(k.buffers_available(), 0);
-        k.submit(server, Syscall::Reply { message: Message::empty() }).unwrap();
+        k.submit(
+            server,
+            Syscall::Reply {
+                message: Message::empty(),
+            },
+        )
+        .unwrap();
         drain(&mut k);
         k.submit(server, Syscall::Receive).unwrap();
         let events = drain(&mut k);
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::Delivered { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::Delivered { .. })));
     }
 
     #[test]
     fn remote_send_emits_mirroring_packet() {
         let mut k = kernel();
         let client = k.create_task("client", 1, 64);
-        let remote = ServiceAddr { node: NodeId(1), service: ServiceId(0) };
-        k.submit(client, Syscall::Send {
-            to: remote,
-            message: Message::from_bytes(b"hi"),
-            mode: SendMode::invocation(),
-        })
+        let remote = ServiceAddr {
+            node: NodeId(1),
+            service: ServiceId(0),
+        };
+        k.submit(
+            client,
+            Syscall::Send {
+                to: remote,
+                message: Message::from_bytes(b"hi"),
+                mode: SendMode::invocation(),
+            },
+        )
         .unwrap();
         let events = drain(&mut k);
         let packet = events.iter().find_map(|e| match e {
@@ -1127,7 +1250,13 @@ mod tests {
         let p = packet.expect("send packet");
         assert_eq!(p.from, NodeId(0));
         assert_eq!(p.to, NodeId(1));
-        assert!(matches!(p.body, PacketBody::SendMsg { await_reply: true, .. }));
+        assert!(matches!(
+            p.body,
+            PacketBody::SendMsg {
+                await_reply: true,
+                ..
+            }
+        ));
         assert_eq!(k.task(client).unwrap().state, TaskState::Stopped);
     }
 
@@ -1145,33 +1274,56 @@ mod tests {
         b.submit(server, Syscall::Receive).unwrap();
         drain(&mut b);
 
-        a.submit(client, Syscall::Send {
-            to: ServiceAddr { node: NodeId(1), service: svc },
-            message: Message::from_bytes(b"req"),
-            mode: SendMode::invocation(),
-        })
+        a.submit(
+            client,
+            Syscall::Send {
+                to: ServiceAddr {
+                    node: NodeId(1),
+                    service: svc,
+                },
+                message: Message::from_bytes(b"req"),
+                mode: SendMode::invocation(),
+            },
+        )
         .unwrap();
         let events = drain(&mut a);
-        let send_packet = events.iter().find_map(|e| match e {
-            KernelEvent::PacketOut(p) => Some(p.clone()),
-            _ => None,
-        })
-        .unwrap();
+        let send_packet = events
+            .iter()
+            .find_map(|e| match e {
+                KernelEvent::PacketOut(p) => Some(p.clone()),
+                _ => None,
+            })
+            .unwrap();
 
         let events = b.handle_packet(send_packet).unwrap();
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::Delivered { .. })));
-        b.submit(server, Syscall::Reply { message: Message::from_bytes(b"rsp") }).unwrap();
-        let events = drain(&mut b);
-        let reply_packet = events.iter().find_map(|e| match e {
-            KernelEvent::PacketOut(p) => Some(p.clone()),
-            _ => None,
-        })
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::Delivered { .. })));
+        b.submit(
+            server,
+            Syscall::Reply {
+                message: Message::from_bytes(b"rsp"),
+            },
+        )
         .unwrap();
+        let events = drain(&mut b);
+        let reply_packet = events
+            .iter()
+            .find_map(|e| match e {
+                KernelEvent::PacketOut(p) => Some(p.clone()),
+                _ => None,
+            })
+            .unwrap();
         assert!(matches!(reply_packet.body, PacketBody::ReplyMsg { .. }));
 
         let events = a.handle_packet(reply_packet).unwrap();
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::ReplyDelivered { client: c } if *c == client)));
-        assert_eq!(&a.task(client).unwrap().delivered.unwrap().data[..3], b"rsp");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::ReplyDelivered { client: c } if *c == client)));
+        assert_eq!(
+            &a.task(client).unwrap().delivered.unwrap().data[..3],
+            b"rsp"
+        );
         assert_eq!(a.stats().packets_out, 1);
         assert_eq!(a.stats().packets_in, 1);
         assert_eq!(b.stats().packets_out, 1);
@@ -1186,7 +1338,8 @@ mod tests {
         let editor = k.create_task("editor", 1, 4096);
         let file_server = k.create_task("file-server", 1, 4096);
         let svc = k.create_service("files");
-        k.submit(file_server, Syscall::Offer { service: svc }).unwrap();
+        k.submit(file_server, Syscall::Offer { service: svc })
+            .unwrap();
         drain(&mut k);
         k.submit(file_server, Syscall::Receive).unwrap();
         drain(&mut k);
@@ -1199,28 +1352,47 @@ mod tests {
             length: 512,
             rights: AccessRights::read_write(),
         });
-        k.submit(editor, Syscall::Send { to: addr(&k, svc), message: msg, mode: SendMode::invocation() })
-            .unwrap();
+        k.submit(
+            editor,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: msg,
+                mode: SendMode::invocation(),
+            },
+        )
+        .unwrap();
         drain(&mut k);
 
-        k.submit(file_server, Syscall::MemoryMove {
-            direction: MoveDirection::ToClient,
-            local_offset: 0,
-            length: 512,
-        })
+        k.submit(
+            file_server,
+            Syscall::MemoryMove {
+                direction: MoveDirection::ToClient,
+                local_offset: 0,
+                length: 512,
+            },
+        )
         .unwrap();
         drain(&mut k);
         assert_eq!(&k.task(editor).unwrap().address_space[100..104], b"page");
 
-        k.submit(file_server, Syscall::Reply { message: Message::empty() }).unwrap();
+        k.submit(
+            file_server,
+            Syscall::Reply {
+                message: Message::empty(),
+            },
+        )
+        .unwrap();
         drain(&mut k);
         assert_eq!(k.task(editor).unwrap().state, TaskState::Computing);
         // Rights are gone after the reply.
-        k.submit(file_server, Syscall::MemoryMove {
-            direction: MoveDirection::ToClient,
-            local_offset: 0,
-            length: 4,
-        })
+        k.submit(
+            file_server,
+            Syscall::MemoryMove {
+                direction: MoveDirection::ToClient,
+                local_offset: 0,
+                length: 4,
+            },
+        )
         .unwrap();
         let t = k.next_communication().unwrap();
         let err = k.process(t).unwrap_err();
@@ -1242,31 +1414,53 @@ mod tests {
             length: 16,
             rights: AccessRights::read_only(),
         });
-        k.submit(client, Syscall::Send { to: addr(&k, svc), message: msg, mode: SendMode::invocation() })
-            .unwrap();
+        k.submit(
+            client,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: msg,
+                mode: SendMode::invocation(),
+            },
+        )
+        .unwrap();
         drain(&mut k);
         // Write into a read-only segment is refused.
-        k.submit(server, Syscall::MemoryMove {
-            direction: MoveDirection::ToClient,
-            local_offset: 0,
-            length: 8,
-        })
-        .unwrap();
-        let t = k.next_communication().unwrap();
-        let err = k.process(t).unwrap_err();
-        assert!(matches!(err, KernelError::AccessViolation { reason: "no write right", .. }));
-        // Over-length move is refused.
-        k.submit(server, Syscall::MemoryMove {
-            direction: MoveDirection::FromClient,
-            local_offset: 0,
-            length: 32,
-        })
+        k.submit(
+            server,
+            Syscall::MemoryMove {
+                direction: MoveDirection::ToClient,
+                local_offset: 0,
+                length: 8,
+            },
+        )
         .unwrap();
         let t = k.next_communication().unwrap();
         let err = k.process(t).unwrap_err();
         assert!(matches!(
             err,
-            KernelError::AccessViolation { reason: "move exceeds granted segment", .. }
+            KernelError::AccessViolation {
+                reason: "no write right",
+                ..
+            }
+        ));
+        // Over-length move is refused.
+        k.submit(
+            server,
+            Syscall::MemoryMove {
+                direction: MoveDirection::FromClient,
+                local_offset: 0,
+                length: 32,
+            },
+        )
+        .unwrap();
+        let t = k.next_communication().unwrap();
+        let err = k.process(t).unwrap_err();
+        assert!(matches!(
+            err,
+            KernelError::AccessViolation {
+                reason: "move exceeds granted segment",
+                ..
+            }
         ));
     }
 
@@ -1280,13 +1474,24 @@ mod tests {
         drain(&mut k);
         k.submit(server, Syscall::Inquire).unwrap();
         let events = drain(&mut k);
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::InquireResult { ready: false, .. })));
-        k.submit(client, Syscall::Send { to: addr(&k, svc), message: Message::empty(), mode: SendMode::NoWait })
-            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::InquireResult { ready: false, .. })));
+        k.submit(
+            client,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: Message::empty(),
+                mode: SendMode::NoWait,
+            },
+        )
+        .unwrap();
         drain(&mut k);
         k.submit(server, Syscall::Inquire).unwrap();
         let events = drain(&mut k);
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::InquireResult { ready: true, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::InquireResult { ready: true, .. })));
     }
 
     #[test]
@@ -1315,7 +1520,10 @@ mod tests {
         let p = Packet {
             from: NodeId(2),
             to: NodeId(9),
-            body: PacketBody::ReplyMsg { client: TaskId(0), message: Message::empty() },
+            body: PacketBody::ReplyMsg {
+                client: TaskId(0),
+                message: Message::empty(),
+            },
         };
         assert!(matches!(k.handle_packet(p), Err(KernelError::BadPacket(_))));
     }
@@ -1332,25 +1540,40 @@ mod tests {
         drain(&mut k);
         k.submit(server, Syscall::Receive).unwrap();
         drain(&mut k);
-        k.submit(client, Syscall::Send {
-            to: addr(&k, svc),
-            message: Message::from_bytes(b"nb"),
-            mode: SendMode::RemoteInvocation { blocking: false },
-        }).unwrap();
+        k.submit(
+            client,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: Message::from_bytes(b"nb"),
+                mode: SendMode::RemoteInvocation { blocking: false },
+            },
+        )
+        .unwrap();
         drain(&mut k);
         // The client keeps computing rather than stopping.
         assert_eq!(k.task(client).unwrap().state, TaskState::Computing);
 
         // Server replies while the client is still "computing".
-        k.submit(server, Syscall::Reply { message: Message::from_bytes(b"rsp") }).unwrap();
+        k.submit(
+            server,
+            Syscall::Reply {
+                message: Message::from_bytes(b"rsp"),
+            },
+        )
+        .unwrap();
         drain(&mut k);
         assert_eq!(k.task(client).unwrap().state, TaskState::Computing);
 
         // Wait returns immediately: the response already arrived.
         k.submit(client, Syscall::Wait).unwrap();
         let events = drain(&mut k);
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::WaitComplete { client: c } if *c == client)));
-        assert_eq!(&k.task(client).unwrap().delivered.unwrap().data[..3], b"rsp");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::WaitComplete { client: c } if *c == client)));
+        assert_eq!(
+            &k.task(client).unwrap().delivered.unwrap().data[..3],
+            b"rsp"
+        );
     }
 
     #[test]
@@ -1363,20 +1586,32 @@ mod tests {
         drain(&mut k);
         k.submit(server, Syscall::Receive).unwrap();
         drain(&mut k);
-        k.submit(client, Syscall::Send {
-            to: addr(&k, svc),
-            message: Message::empty(),
-            mode: SendMode::RemoteInvocation { blocking: false },
-        }).unwrap();
+        k.submit(
+            client,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: Message::empty(),
+                mode: SendMode::RemoteInvocation { blocking: false },
+            },
+        )
+        .unwrap();
         drain(&mut k);
         // Wait before the reply: the client stops.
         k.submit(client, Syscall::Wait).unwrap();
         drain(&mut k);
         assert_eq!(k.task(client).unwrap().state, TaskState::Stopped);
         // The reply wakes it with a WaitComplete.
-        k.submit(server, Syscall::Reply { message: Message::empty() }).unwrap();
+        k.submit(
+            server,
+            Syscall::Reply {
+                message: Message::empty(),
+            },
+        )
+        .unwrap();
         let events = drain(&mut k);
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::WaitComplete { client: c } if *c == client)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::WaitComplete { client: c } if *c == client)));
         assert_eq!(k.task(client).unwrap().state, TaskState::Computing);
     }
 
@@ -1397,16 +1632,24 @@ mod tests {
         let mut k = kernel();
         let driver = k.create_task("disk-driver", 1, 64);
         let intr_svc = k.create_service("disk-interrupts");
-        k.submit(driver, Syscall::Offer { service: intr_svc }).unwrap();
+        k.submit(driver, Syscall::Offer { service: intr_svc })
+            .unwrap();
         drain(&mut k);
         k.submit(driver, Syscall::Receive).unwrap();
         drain(&mut k);
         assert_eq!(k.task(driver).unwrap().state, TaskState::Stopped);
 
         // The interrupt handler fires (no task context).
-        let events = k.activate(intr_svc, Message::from_bytes(b"sector 9 done")).unwrap();
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::Delivered { server } if *server == driver)));
-        assert_eq!(&k.task(driver).unwrap().delivered.unwrap().data[..13], b"sector 9 done");
+        let events = k
+            .activate(intr_svc, Message::from_bytes(b"sector 9 done"))
+            .unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::Delivered { server } if *server == driver)));
+        assert_eq!(
+            &k.task(driver).unwrap().delivered.unwrap().data[..13],
+            b"sector 9 done"
+        );
         assert_eq!(k.task(driver).unwrap().state, TaskState::Computing);
     }
 
@@ -1420,11 +1663,15 @@ mod tests {
         k.submit(driver, Syscall::Offer { service: intr }).unwrap();
         drain(&mut k);
         // Exhaust the single buffer with a queued message.
-        k.submit(filler, Syscall::Send {
-            to: addr(&k, svc),
-            message: Message::empty(),
-            mode: SendMode::NoWait,
-        }).unwrap();
+        k.submit(
+            filler,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: Message::empty(),
+                mode: SendMode::NoWait,
+            },
+        )
+        .unwrap();
         drain(&mut k);
         assert_eq!(k.buffers_available(), 0);
         // The activation is parked, not lost.
@@ -1439,8 +1686,12 @@ mod tests {
         drain(&mut k);
         k.submit(receiver, Syscall::Receive).unwrap();
         let events = drain(&mut k);
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::Delivered { server } if *server == driver)),
-            "parked activation delivered: {events:?}");
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, KernelEvent::Delivered { server } if *server == driver)),
+            "parked activation delivered: {events:?}"
+        );
     }
 
     #[test]
@@ -1457,15 +1708,22 @@ mod tests {
         k.destroy_task(server).unwrap();
         assert!(k.task(server).is_err());
         // A send now queues instead of matching a dead server.
-        k.submit(client, Syscall::Send {
-            to: addr(&k, svc),
-            message: Message::empty(),
-            mode: SendMode::NoWait,
-        }).unwrap();
+        k.submit(
+            client,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: Message::empty(),
+                mode: SendMode::NoWait,
+            },
+        )
+        .unwrap();
         drain(&mut k);
         assert_eq!(k.service_queue_len(svc).unwrap(), 1);
         // Destroying again is an error.
-        assert!(matches!(k.destroy_task(server), Err(KernelError::UnknownTask(_))));
+        assert!(matches!(
+            k.destroy_task(server),
+            Err(KernelError::UnknownTask(_))
+        ));
     }
 
     #[test]
@@ -1478,17 +1736,23 @@ mod tests {
         drain(&mut k);
         k.submit(server, Syscall::Receive).unwrap();
         drain(&mut k);
-        k.submit(client, Syscall::Send {
-            to: addr(&k, svc),
-            message: Message::empty(),
-            mode: SendMode::invocation(),
-        }).unwrap();
+        k.submit(
+            client,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: Message::empty(),
+                mode: SendMode::invocation(),
+            },
+        )
+        .unwrap();
         drain(&mut k);
         assert_eq!(k.task(client).unwrap().state, TaskState::Stopped);
         // The server dies inside the rendezvous: the client is released
         // (with the reply lost) instead of hanging forever.
         let events = k.destroy_task(server).unwrap();
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::ReplyDropped { client: c } if *c == client)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::ReplyDropped { client: c } if *c == client)));
         assert_eq!(k.task(client).unwrap().state, TaskState::Computing);
     }
 
@@ -1502,17 +1766,29 @@ mod tests {
         drain(&mut k);
         k.submit(server, Syscall::Receive).unwrap();
         drain(&mut k);
-        k.submit(client, Syscall::Send {
-            to: addr(&k, svc),
-            message: Message::empty(),
-            mode: SendMode::invocation(),
-        }).unwrap();
+        k.submit(
+            client,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: Message::empty(),
+                mode: SendMode::invocation(),
+            },
+        )
+        .unwrap();
         drain(&mut k);
         k.destroy_task(client).unwrap();
         // The server's reply does not crash the kernel; it reports a drop.
-        k.submit(server, Syscall::Reply { message: Message::empty() }).unwrap();
+        k.submit(
+            server,
+            Syscall::Reply {
+                message: Message::empty(),
+            },
+        )
+        .unwrap();
         let events = drain(&mut k);
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::ReplyDropped { client: c } if *c == client)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::ReplyDropped { client: c } if *c == client)));
         // The server continues normally.
         assert_eq!(k.task(server).unwrap().state, TaskState::Computing);
     }
@@ -1529,11 +1805,15 @@ mod tests {
         drain(&mut k);
         k.submit(server, Syscall::Receive).unwrap();
         drain(&mut k);
-        k.submit(client, Syscall::Send {
-            to: addr(&k, svc),
-            message: Message::empty(),
-            mode: SendMode::NoWait,
-        }).unwrap();
+        k.submit(
+            client,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: Message::empty(),
+                mode: SendMode::NoWait,
+            },
+        )
+        .unwrap();
         let events = drain(&mut k);
         assert!(events.iter().any(
             |e| matches!(e, KernelEvent::HandlerInvoked { server: s, handler: 42 } if *s == server)
@@ -1544,13 +1824,19 @@ mod tests {
         drain(&mut k);
         k.submit(server, Syscall::Receive).unwrap();
         drain(&mut k);
-        k.submit(client, Syscall::Send {
-            to: addr(&k, plain),
-            message: Message::empty(),
-            mode: SendMode::NoWait,
-        }).unwrap();
+        k.submit(
+            client,
+            Syscall::Send {
+                to: addr(&k, plain),
+                message: Message::empty(),
+                mode: SendMode::NoWait,
+            },
+        )
+        .unwrap();
         let events = drain(&mut k);
-        assert!(!events.iter().any(|e| matches!(e, KernelEvent::HandlerInvoked { .. })));
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::HandlerInvoked { .. })));
     }
 
     #[test]
@@ -1588,10 +1874,19 @@ mod tests {
         drain(&mut k);
         k.submit(s2, Syscall::Receive).unwrap();
         drain(&mut k);
-        k.submit(client, Syscall::Send { to: addr(&k, svc), message: Message::empty(), mode: SendMode::NoWait })
-            .unwrap();
+        k.submit(
+            client,
+            Syscall::Send {
+                to: addr(&k, svc),
+                message: Message::empty(),
+                mode: SendMode::NoWait,
+            },
+        )
+        .unwrap();
         let events = drain(&mut k);
-        assert!(events.iter().any(|e| matches!(e, KernelEvent::Delivered { server } if *server == s1)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, KernelEvent::Delivered { server } if *server == s1)));
         assert_eq!(k.task(s2).unwrap().state, TaskState::Stopped);
     }
 }

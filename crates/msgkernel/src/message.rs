@@ -20,12 +20,20 @@ pub struct AccessRights {
 impl AccessRights {
     /// Read-only access.
     pub fn read_only() -> AccessRights {
-        AccessRights { read: true, write: false, copy: false }
+        AccessRights {
+            read: true,
+            write: false,
+            copy: false,
+        }
     }
 
     /// Read/write access.
     pub fn read_write() -> AccessRights {
-        AccessRights { read: true, write: true, copy: false }
+        AccessRights {
+            read: true,
+            write: true,
+            copy: false,
+        }
     }
 }
 
@@ -54,7 +62,10 @@ pub struct Message {
 impl Message {
     /// An all-zero message.
     pub fn empty() -> Message {
-        Message { data: [0; MESSAGE_SIZE], memory_ref: None }
+        Message {
+            data: [0; MESSAGE_SIZE],
+            memory_ref: None,
+        }
     }
 
     /// Builds a message from up to 40 bytes of payload (zero padded).
@@ -67,7 +78,10 @@ impl Message {
         assert!(payload.len() <= MESSAGE_SIZE, "925 messages are 40 bytes");
         let mut data = [0u8; MESSAGE_SIZE];
         data[..payload.len()].copy_from_slice(payload);
-        Message { data, memory_ref: None }
+        Message {
+            data,
+            memory_ref: None,
+        }
     }
 
     /// Attaches a memory reference.
@@ -113,7 +127,11 @@ mod tests {
 
     #[test]
     fn memory_ref_attachment() {
-        let r = MemoryRef { offset: 128, length: 1000, rights: AccessRights::read_write() };
+        let r = MemoryRef {
+            offset: 128,
+            length: 1000,
+            rights: AccessRights::read_write(),
+        };
         let m = Message::empty().with_memory_ref(r);
         assert_eq!(m.memory_ref, Some(r));
         assert!(r.rights.read && r.rights.write && !r.rights.copy);

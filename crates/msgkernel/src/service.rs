@@ -71,9 +71,18 @@ mod tests {
 
     #[test]
     fn service_addr_equality() {
-        let a = ServiceAddr { node: NodeId(0), service: ServiceId(1) };
-        let b = ServiceAddr { node: NodeId(0), service: ServiceId(1) };
-        let c = ServiceAddr { node: NodeId(1), service: ServiceId(1) };
+        let a = ServiceAddr {
+            node: NodeId(0),
+            service: ServiceId(1),
+        };
+        let b = ServiceAddr {
+            node: NodeId(0),
+            service: ServiceId(1),
+        };
+        let c = ServiceAddr {
+            node: NodeId(1),
+            service: ServiceId(1),
+        };
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

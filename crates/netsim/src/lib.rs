@@ -159,7 +159,12 @@ impl<P> TokenRing<P> {
         self.stats.busy_ns += tx;
         self.in_flight.push_back(Delivery {
             at_ns: arrive,
-            frame: Frame { from, to, wire_bytes: payload_bytes + self.header_bytes, payload },
+            frame: Frame {
+                from,
+                to,
+                wire_bytes: payload_bytes + self.header_bytes,
+                payload,
+            },
         });
         Ok(arrive)
     }
@@ -217,7 +222,9 @@ mod tests {
     #[test]
     fn transmit_and_poll() {
         let mut r = ring();
-        let arrive = r.transmit(1_000, RingNodeId(0), RingNodeId(1), 40, "send").unwrap();
+        let arrive = r
+            .transmit(1_000, RingNodeId(0), RingNodeId(1), 40, "send")
+            .unwrap();
         assert_eq!(arrive, 1_000 + 112_000);
         assert!(r.poll(arrive - 1).is_empty());
         let got = r.poll(arrive);
@@ -230,8 +237,12 @@ mod tests {
     #[test]
     fn medium_serializes_back_to_back_frames() {
         let mut r = ring();
-        let a = r.transmit(0, RingNodeId(0), RingNodeId(1), 40, "a").unwrap();
-        let b = r.transmit(0, RingNodeId(1), RingNodeId(0), 40, "b").unwrap();
+        let a = r
+            .transmit(0, RingNodeId(0), RingNodeId(1), 40, "a")
+            .unwrap();
+        let b = r
+            .transmit(0, RingNodeId(1), RingNodeId(0), 40, "b")
+            .unwrap();
         assert_eq!(b, a + 112_000, "second frame waits for the medium");
         assert_eq!(r.stats().frames, 2);
         assert_eq!(r.stats().busy_ns, 224_000);
@@ -240,16 +251,23 @@ mod tests {
     #[test]
     fn in_order_delivery() {
         let mut r = ring();
-        r.transmit(0, RingNodeId(0), RingNodeId(1), 40, "first").unwrap();
-        r.transmit(0, RingNodeId(0), RingNodeId(1), 40, "second").unwrap();
+        r.transmit(0, RingNodeId(0), RingNodeId(1), 40, "first")
+            .unwrap();
+        r.transmit(0, RingNodeId(0), RingNodeId(1), 40, "second")
+            .unwrap();
         let got = r.poll(u64::MAX);
-        assert_eq!(got.iter().map(|d| d.frame.payload).collect::<Vec<_>>(), ["first", "second"]);
+        assert_eq!(
+            got.iter().map(|d| d.frame.payload).collect::<Vec<_>>(),
+            ["first", "second"]
+        );
     }
 
     #[test]
     fn unknown_node_rejected() {
         let mut r = ring();
-        let err = r.transmit(0, RingNodeId(0), RingNodeId(9), 40, "x").unwrap_err();
+        let err = r
+            .transmit(0, RingNodeId(0), RingNodeId(9), 40, "x")
+            .unwrap_err();
         assert_eq!(err, RingError::UnknownNode(RingNodeId(9)));
     }
 
@@ -257,7 +275,9 @@ mod tests {
     fn next_arrival_tracks_head() {
         let mut r = ring();
         assert_eq!(r.next_arrival(), None);
-        let a = r.transmit(0, RingNodeId(0), RingNodeId(1), 10, "x").unwrap();
+        let a = r
+            .transmit(0, RingNodeId(0), RingNodeId(1), 10, "x")
+            .unwrap();
         assert_eq!(r.next_arrival(), Some(a));
     }
 

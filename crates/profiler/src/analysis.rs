@@ -77,7 +77,11 @@ mod tests {
             let spec = mk();
             let b = KernelRun::new(&spec).execute(100).breakdown();
             let got = fixed_overhead_ms(&b);
-            assert!((got - want).abs() / want < 0.05, "{}: {got} vs {want}", b.system);
+            assert!(
+                (got - want).abs() / want < 0.05,
+                "{}: {got} vs {want}",
+                b.system
+            );
         }
     }
 

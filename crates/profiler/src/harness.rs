@@ -45,7 +45,12 @@ pub struct Profiler {
 impl Profiler {
     /// A profiler over a fresh virtual clock.
     pub fn new(timer: HardwareTimer) -> Profiler {
-        Profiler { timer, statistics: HashMap::new(), order: Vec::new(), now_us: 0 }
+        Profiler {
+            timer,
+            statistics: HashMap::new(),
+            order: Vec::new(),
+            now_us: 0,
+        }
     }
 
     /// The current virtual time, µs.
@@ -150,7 +155,11 @@ pub struct KernelRun<'a> {
 impl<'a> KernelRun<'a> {
     /// Prepares a run of `spec`.
     pub fn new(spec: &'a KernelSpec) -> KernelRun<'a> {
-        KernelRun { spec, profiler: Profiler::new(HardwareTimer::sixteen_bit()), round_trips: 0 }
+        KernelRun {
+            spec,
+            profiler: Profiler::new(HardwareTimer::sixteen_bit()),
+            round_trips: 0,
+        }
     }
 
     /// Executes `messages` round trips (producer sends, consumer replies),
@@ -228,8 +237,16 @@ mod tests {
             message_bytes: 64,
             local: true,
             activities: vec![
-                ActivitySpec { name: "Alpha", instructions_per_round_trip: 3_000, visits_per_round_trip: 1 },
-                ActivitySpec { name: "Copy Time", instructions_per_round_trip: 1_000, visits_per_round_trip: 4 },
+                ActivitySpec {
+                    name: "Alpha",
+                    instructions_per_round_trip: 3_000,
+                    visits_per_round_trip: 1,
+                },
+                ActivitySpec {
+                    name: "Copy Time",
+                    instructions_per_round_trip: 1_000,
+                    visits_per_round_trip: 4,
+                },
             ],
         }
     }

@@ -12,7 +12,6 @@
 //! its stamp record, and [`PathReport`] summarizes waiting time per stage
 //! and names the bottleneck.
 
-
 /// One stage of the message route.
 #[derive(Debug, Clone)]
 pub struct PathStage {
@@ -55,7 +54,9 @@ pub struct TracedMessage {
 impl TracedMessage {
     /// Total source-to-destination latency.
     pub fn latency_us(&self) -> u64 {
-        self.stamps.last().map_or(0, |s| s.completed_at - self.arrived_at)
+        self.stamps
+            .last()
+            .map_or(0, |s| s.completed_at - self.arrived_at)
     }
 }
 
@@ -94,7 +95,10 @@ impl MessagePath {
     ///
     /// Panics on an empty route.
     pub fn new(stages: Vec<PathStage>) -> MessagePath {
-        assert!(!stages.is_empty(), "a message route needs at least one stage");
+        assert!(
+            !stages.is_empty(),
+            "a message route needs at least one stage"
+        );
         MessagePath { stages }
     }
 
@@ -102,12 +106,30 @@ impl MessagePath {
     /// copies → TCP → IP → device queue → wire, with the paper's times.
     pub fn unix_transmit() -> MessagePath {
         MessagePath::new(vec![
-            PathStage { name: "socket routines", service_us: 510 },
-            PathStage { name: "copy to kernel buffer", service_us: 250 },
-            PathStage { name: "TCP processing", service_us: 650 },
-            PathStage { name: "IP processing", service_us: 800 },
-            PathStage { name: "device queue + DMA", service_us: 550 },
-            PathStage { name: "wire (4 Mb/s)", service_us: 112 },
+            PathStage {
+                name: "socket routines",
+                service_us: 510,
+            },
+            PathStage {
+                name: "copy to kernel buffer",
+                service_us: 250,
+            },
+            PathStage {
+                name: "TCP processing",
+                service_us: 650,
+            },
+            PathStage {
+                name: "IP processing",
+                service_us: 800,
+            },
+            PathStage {
+                name: "device queue + DMA",
+                service_us: 550,
+            },
+            PathStage {
+                name: "wire (4 Mb/s)",
+                service_us: 112,
+            },
         ])
     }
 
@@ -126,10 +148,18 @@ impl MessagePath {
                 let dequeued_at = t.max(free_at[i]);
                 let completed_at = dequeued_at + stage.service_us;
                 free_at[i] = completed_at;
-                stamps.push(Stamp { stage: stage.name, enqueued_at, dequeued_at, completed_at });
+                stamps.push(Stamp {
+                    stage: stage.name,
+                    enqueued_at,
+                    dequeued_at,
+                    completed_at,
+                });
                 t = completed_at;
             }
-            out.push(TracedMessage { arrived_at: arrived, stamps });
+            out.push(TracedMessage {
+                arrived_at: arrived,
+                stamps,
+            });
         }
         out
     }
@@ -144,7 +174,11 @@ impl MessagePath {
             .enumerate()
             .map(|(i, s)| StageStats {
                 name: s.name,
-                mean_wait_us: traced.iter().map(|m| m.stamps[i].wait_us() as f64).sum::<f64>() / n,
+                mean_wait_us: traced
+                    .iter()
+                    .map(|m| m.stamps[i].wait_us() as f64)
+                    .sum::<f64>()
+                    / n,
                 service_us: s.service_us,
             })
             .collect::<Vec<_>>();
@@ -171,7 +205,10 @@ mod tests {
             times
                 .iter()
                 .enumerate()
-                .map(|(i, &t)| PathStage { name: NAMES[i], service_us: t })
+                .map(|(i, &t)| PathStage {
+                    name: NAMES[i],
+                    service_us: t,
+                })
                 .collect(),
         )
     }
@@ -195,8 +232,12 @@ mod tests {
         let r = p.report(200, 200);
         assert_eq!(r.bottleneck, "b");
         let b = &r.stages[1];
-        assert!(b.mean_wait_us > 10.0 * r.stages[2].mean_wait_us,
-            "b waits {} vs c {}", b.mean_wait_us, r.stages[2].mean_wait_us);
+        assert!(
+            b.mean_wait_us > 10.0 * r.stages[2].mean_wait_us,
+            "b waits {} vs c {}",
+            b.mean_wait_us,
+            r.stages[2].mean_wait_us
+        );
     }
 
     #[test]
@@ -223,7 +264,11 @@ mod tests {
         // non-local profile's kernel time plus the wire.
         let p = MessagePath::unix_transmit();
         let r = p.report(1, 1_000_000);
-        assert!((r.mean_latency_us - 2_872.0).abs() < 1.0, "{}", r.mean_latency_us);
+        assert!(
+            (r.mean_latency_us - 2_872.0).abs() < 1.0,
+            "{}",
+            r.mean_latency_us
+        );
         // Lightly loaded: no queueing anywhere.
         assert!(r.stages.iter().all(|s| s.mean_wait_us == 0.0));
         // Saturated: IP processing (the costliest kernel stage) becomes the

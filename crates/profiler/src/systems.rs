@@ -39,11 +39,21 @@ pub fn jasmin() -> KernelSpec {
         message_bytes: 32,
         local: true,
         activities: vec![
-            activity_from_time("Actions Leading to Short-Term Scheduling Decisions", 0.288, mips, 2),
+            activity_from_time(
+                "Actions Leading to Short-Term Scheduling Decisions",
+                0.288,
+                mips,
+                2,
+            ),
             activity_from_time("Copy Time", 0.108, mips, 4),
             activity_from_time("Buffer Management", 0.072, mips, 2),
             activity_from_time("Path Management", 0.144, mips, 2),
-            activity_from_time("Miscellaneous (Network Channels, Communication Task)", 0.108, mips, 1),
+            activity_from_time(
+                "Miscellaneous (Network Channels, Communication Task)",
+                0.108,
+                mips,
+                1,
+            ),
         ],
     }
 }
@@ -59,10 +69,20 @@ pub fn sys925() -> KernelSpec {
         message_bytes: 40,
         local: true,
         activities: vec![
-            activity_from_time("Short-Term Scheduling (Including event processing)", 1.96, mips, 3),
+            activity_from_time(
+                "Short-Term Scheduling (Including event processing)",
+                1.96,
+                mips,
+                3,
+            ),
             activity_from_time("Copy Time", 0.84, mips, 4),
             activity_from_time("Entering and Exiting Kernel", 0.56, mips, 6),
-            activity_from_time("Checking, Addressing, and Control Block Manipulation", 2.24, mips, 3),
+            activity_from_time(
+                "Checking, Addressing, and Control Block Manipulation",
+                2.24,
+                mips,
+                3,
+            ),
         ],
     }
 }
@@ -78,7 +98,12 @@ pub fn unix_local() -> KernelSpec {
         message_bytes: 128,
         local: true,
         activities: vec![
-            activity_from_time("Validity Checking and Control Block Manipulation", 2.44, mips, 4),
+            activity_from_time(
+                "Validity Checking and Control Block Manipulation",
+                2.44,
+                mips,
+                4,
+            ),
             activity_from_time("Copy Time", 0.88, mips, 4),
             activity_from_time("Short-Term Scheduling", 0.78, mips, 2),
             activity_from_time("Buffer Management", 0.46, mips, 4),
@@ -140,10 +165,22 @@ mod tests {
     fn table_3_1_charlotte_breakdown() {
         let spec = charlotte();
         let b = KernelRun::new(&spec).execute(200).breakdown();
-        assert!((b.round_trip_ms - 20.0).abs() < 0.1, "rt {}", b.round_trip_ms);
+        assert!(
+            (b.round_trip_ms - 20.0).abs() < 0.1,
+            "rt {}",
+            b.round_trip_ms
+        );
         assert!((b.copy_ms - 0.6).abs() < 0.05);
-        let protocol = b.rows.iter().find(|r| r.name.starts_with("Protocol")).unwrap();
-        assert!((protocol.percent - 50.0).abs() < 1.0, "{}", protocol.percent);
+        let protocol = b
+            .rows
+            .iter()
+            .find(|r| r.name.starts_with("Protocol"))
+            .unwrap();
+        assert!(
+            (protocol.percent - 50.0).abs() < 1.0,
+            "{}",
+            protocol.percent
+        );
         let copy = b.rows.iter().find(|r| r.name == "Copy Time").unwrap();
         assert!((copy.percent - 3.0).abs() < 0.5, "{}", copy.percent);
     }
@@ -152,7 +189,11 @@ mod tests {
     fn table_3_2_jasmin_breakdown() {
         let spec = jasmin();
         let b = KernelRun::new(&spec).execute(200).breakdown();
-        assert!((b.round_trip_ms - 0.72).abs() < 0.05, "rt {}", b.round_trip_ms);
+        assert!(
+            (b.round_trip_ms - 0.72).abs() < 0.05,
+            "rt {}",
+            b.round_trip_ms
+        );
         let sched = &b.rows[0];
         assert!((sched.percent - 40.0).abs() < 3.0, "{}", sched.percent);
     }
@@ -161,8 +202,16 @@ mod tests {
     fn table_3_3_925_breakdown() {
         let spec = sys925();
         let b = KernelRun::new(&spec).execute(200).breakdown();
-        assert!((b.round_trip_ms - 5.6).abs() < 0.05, "rt {}", b.round_trip_ms);
-        let checking = b.rows.iter().find(|r| r.name.starts_with("Checking")).unwrap();
+        assert!(
+            (b.round_trip_ms - 5.6).abs() < 0.05,
+            "rt {}",
+            b.round_trip_ms
+        );
+        let checking = b
+            .rows
+            .iter()
+            .find(|r| r.name.starts_with("Checking"))
+            .unwrap();
         assert!((checking.percent - 40.0).abs() < 1.0);
         let copy = b.rows.iter().find(|r| r.name == "Copy Time").unwrap();
         assert!((copy.percent - 15.0).abs() < 1.0);
@@ -172,16 +221,28 @@ mod tests {
     fn table_3_4_unix_local_breakdown() {
         let spec = unix_local();
         let b = KernelRun::new(&spec).execute(200).breakdown();
-        assert!((b.round_trip_ms - 4.57).abs() < 0.05, "rt {}", b.round_trip_ms);
+        assert!(
+            (b.round_trip_ms - 4.57).abs() < 0.05,
+            "rt {}",
+            b.round_trip_ms
+        );
         let validity = &b.rows[0];
-        assert!((validity.percent - 53.4).abs() < 1.0, "{}", validity.percent);
+        assert!(
+            (validity.percent - 53.4).abs() < 1.0,
+            "{}",
+            validity.percent
+        );
     }
 
     #[test]
     fn table_3_5_unix_nonlocal_breakdown() {
         let spec = unix_nonlocal();
         let b = KernelRun::new(&spec).execute(200).breakdown();
-        assert!((b.round_trip_ms - 6.8).abs() < 0.1, "rt {}", b.round_trip_ms);
+        assert!(
+            (b.round_trip_ms - 6.8).abs() < 0.1,
+            "rt {}",
+            b.round_trip_ms
+        );
         let ip = b.rows.iter().find(|r| r.name == "IP processing").unwrap();
         assert!((ip.percent - 24.0).abs() < 1.0);
         // Protocol processing (TCP+IP+checksum) dwarfs the copy cost.

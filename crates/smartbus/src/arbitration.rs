@@ -96,8 +96,7 @@ impl Arbiter {
             }
             lines = next;
         }
-        let settled =
-            (u8::from(lines[0]) << 2) | (u8::from(lines[1]) << 1) | u8::from(lines[2]);
+        let settled = (u8::from(lines[0]) << 2) | (u8::from(lines[1]) << 1) | u8::from(lines[2]);
         contenders.iter().position(|c| c.value() == settled)
     }
 }
@@ -143,7 +142,11 @@ mod tests {
     #[test]
     fn highest_number_wins() {
         let arb = Arbiter::new();
-        let cs = [RequestNumber::new(3), RequestNumber::new(6), RequestNumber::new(5)];
+        let cs = [
+            RequestNumber::new(3),
+            RequestNumber::new(6),
+            RequestNumber::new(5),
+        ];
         assert_eq!(arb.resolve(&cs), Some(1));
     }
 
@@ -184,10 +187,7 @@ mod tests {
 
     #[test]
     fn preempted_by_higher_priority() {
-        let g = grant(
-            Some(RequestNumber::new(2)),
-            &[RequestNumber::new(6)],
-        );
+        let g = grant(Some(RequestNumber::new(2)), &[RequestNumber::new(6)]);
         assert_eq!(g, Grant::NewMaster(0));
     }
 

@@ -87,7 +87,11 @@ enum PendingState {
     /// Waiting to win the bus for the request handshake.
     Queued,
     /// Write block: request accepted, streaming words to memory.
-    StreamingWrite { tag: Tag, data: Vec<u16>, cursor: usize },
+    StreamingWrite {
+        tag: Tag,
+        data: Vec<u16>,
+        cursor: usize,
+    },
     /// Read block: request accepted, memory will stream words back.
     AwaitingRead { collected: Vec<u16> },
 }
@@ -151,7 +155,11 @@ impl<S: BusSlave> BusEngine<S> {
         if br == self.memory_br || self.units.iter().any(|u| u.br == br) {
             return Err(EngineError::DuplicateRequestNumber(br.value()));
         }
-        self.units.push(Unit { name: name.into(), br, pending: None });
+        self.units.push(Unit {
+            name: name.into(),
+            br,
+            pending: None,
+        });
         Ok(UnitId(self.units.len() - 1))
     }
 
@@ -261,7 +269,13 @@ impl<S: BusSlave> BusEngine<S> {
 
     fn record(&mut self, master: Option<UnitId>, command: Command, edges: u32, detail: String) {
         if self.trace_enabled {
-            self.trace.push(BusEvent { at_ns: self.time_ns, master, command, edges, detail });
+            self.trace.push(BusEvent {
+                at_ns: self.time_ns,
+                master,
+                command,
+                edges,
+                detail,
+            });
         }
         self.time_ns += edges_to_ns(edges);
     }
@@ -279,7 +293,10 @@ impl<S: BusSlave> BusEngine<S> {
 
     fn unit_tenure(&mut self, ui: usize) -> Result<(), EngineError> {
         let state = {
-            let p = self.units[ui].pending.as_ref().expect("contender has pending");
+            let p = self.units[ui]
+                .pending
+                .as_ref()
+                .expect("contender has pending");
             match &p.state {
                 PendingState::Queued => None,
                 PendingState::StreamingWrite { tag, data, cursor } => {
@@ -307,7 +324,11 @@ impl<S: BusSlave> BusEngine<S> {
                     self.tag_owner.remove(&tag);
                     self.complete(ui, Response::BlockWritten);
                 } else if let Some(p) = self.units[ui].pending.as_mut() {
-                    p.state = PendingState::StreamingWrite { tag, data, cursor: end };
+                    p.state = PendingState::StreamingWrite {
+                        tag,
+                        data,
+                        cursor: end,
+                    };
                 }
                 Ok(())
             }
@@ -336,7 +357,12 @@ impl<S: BusSlave> BusEngine<S> {
                 self.complete(ui, Response::Ack);
             }
             Transaction::WriteByte { addr, value } => {
-                self.record(Some(UnitId(ui)), command, edges, format!("writeb {addr:#x}"));
+                self.record(
+                    Some(UnitId(ui)),
+                    command,
+                    edges,
+                    format!("writeb {addr:#x}"),
+                );
                 self.slave.write_byte(addr, value)?;
                 self.complete(ui, Response::Ack);
             }
@@ -361,27 +387,41 @@ impl<S: BusSlave> BusEngine<S> {
                 self.complete(ui, Response::Ack);
             }
             Transaction::First { list } => {
-                self.record(Some(UnitId(ui)), command, edges, format!("first of {list:#x}"));
+                self.record(
+                    Some(UnitId(ui)),
+                    command,
+                    edges,
+                    format!("first of {list:#x}"),
+                );
                 let e = self.slave.first(list)?;
                 self.complete(ui, Response::Element(e));
             }
-            Transaction::BlockTransfer { addr, count, direction, data } => {
+            Transaction::BlockTransfer {
+                addr,
+                count,
+                direction,
+                data,
+            } => {
                 self.record(
                     Some(UnitId(ui)),
                     command,
                     edges,
                     format!("block {direction:?} {addr:#x}+{count}"),
                 );
-                let tag = self.slave.block_transfer(addr, count, direction, priority)?;
+                let tag = self
+                    .slave
+                    .block_transfer(addr, count, direction, priority)?;
                 self.tag_owner.insert(tag, UnitId(ui));
                 let p = self.units[ui].pending.as_mut().expect("pending request");
                 p.state = match direction {
-                    BlockDirection::Write => {
-                        PendingState::StreamingWrite { tag, data, cursor: 0 }
-                    }
-                    BlockDirection::Read => {
-                        PendingState::AwaitingRead { collected: Vec::new() }
-                    }
+                    BlockDirection::Write => PendingState::StreamingWrite {
+                        tag,
+                        data,
+                        cursor: 0,
+                    },
+                    BlockDirection::Read => PendingState::AwaitingRead {
+                        collected: Vec::new(),
+                    },
                 };
             }
         }
@@ -435,7 +475,11 @@ mod tests {
 
     impl TestSlave {
         fn new(size: usize) -> TestSlave {
-            TestSlave { mem: vec![0; size], blocks: Vec::new(), next_tag: 0 }
+            TestSlave {
+                mem: vec![0; size],
+                blocks: Vec::new(),
+                next_tag: 0,
+            }
         }
     }
 
@@ -473,7 +517,11 @@ mod tests {
                 .max_by_key(|b| b.5)
                 .map(|b| b.0)
         }
-        fn stream_out(&mut self, tag: Tag, max_words: usize) -> Result<(Vec<u16>, bool), SlaveError> {
+        fn stream_out(
+            &mut self,
+            tag: Tag,
+            max_words: usize,
+        ) -> Result<(Vec<u16>, bool), SlaveError> {
             let b = self
                 .blocks
                 .iter_mut()
@@ -532,9 +580,17 @@ mod tests {
     fn simple_write_then_read() {
         let mut bus = engine();
         let host = bus.add_unit("host", RequestNumber::new(1)).unwrap();
-        bus.submit(host, Transaction::WriteWord { addr: 16, value: 0xBEEF }).unwrap();
+        bus.submit(
+            host,
+            Transaction::WriteWord {
+                addr: 16,
+                value: 0xBEEF,
+            },
+        )
+        .unwrap();
         bus.run_until_idle().unwrap();
-        bus.submit(host, Transaction::SimpleRead { addr: 16 }).unwrap();
+        bus.submit(host, Transaction::SimpleRead { addr: 16 })
+            .unwrap();
         let done = bus.run_until_idle().unwrap();
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].response, Response::Data(0xBEEF));
@@ -597,8 +653,11 @@ mod tests {
     fn one_outstanding_request_per_unit() {
         let mut bus = engine();
         let host = bus.add_unit("host", RequestNumber::new(1)).unwrap();
-        bus.submit(host, Transaction::SimpleRead { addr: 0 }).unwrap();
-        let err = bus.submit(host, Transaction::SimpleRead { addr: 2 }).unwrap_err();
+        bus.submit(host, Transaction::SimpleRead { addr: 0 })
+            .unwrap();
+        let err = bus
+            .submit(host, Transaction::SimpleRead { addr: 2 })
+            .unwrap_err();
         assert!(matches!(err, EngineError::UnitBusy(_)));
     }
 
@@ -633,7 +692,14 @@ mod tests {
             },
         )
         .unwrap();
-        bus.submit(host, Transaction::Enqueue { list: 512, element: 600 }).unwrap();
+        bus.submit(
+            host,
+            Transaction::Enqueue {
+                list: 512,
+                element: 600,
+            },
+        )
+        .unwrap();
         let done = bus.run_until_idle().unwrap();
         // The enqueue completes first even though the block was submitted
         // first.
@@ -691,7 +757,8 @@ mod tests {
     fn trace_disabled_by_default() {
         let mut bus = engine();
         let host = bus.add_unit("host", RequestNumber::new(1)).unwrap();
-        bus.submit(host, Transaction::SimpleRead { addr: 0 }).unwrap();
+        bus.submit(host, Transaction::SimpleRead { addr: 0 })
+            .unwrap();
         bus.run_until_idle().unwrap();
         assert!(bus.trace().is_empty());
     }

@@ -152,7 +152,10 @@ mod tests {
     #[test]
     fn idle_bus_quiescent() {
         assert!(BusLines::released().is_quiescent());
-        let busy = BusLines { bbsy: true, ..BusLines::released() };
+        let busy = BusLines {
+            bbsy: true,
+            ..BusLines::released()
+        };
         assert!(!busy.is_quiescent());
     }
 }

@@ -245,7 +245,10 @@ mod tests {
 
     #[test]
     fn transaction_commands() {
-        assert_eq!(Transaction::SimpleRead { addr: 0 }.command(), Command::SimpleRead);
+        assert_eq!(
+            Transaction::SimpleRead { addr: 0 }.command(),
+            Command::SimpleRead
+        );
         assert_eq!(
             Transaction::WriteWord { addr: 0, value: 1 }.command(),
             Command::WriteTwoBytes

@@ -136,8 +136,16 @@ fn four_edge(command: Command) -> TimingDiagram {
         is: vec![(1, Level::Asserted), (3, Level::Released)],
         ik: vec![(2, Level::Asserted), (4, Level::Released)],
         ad: vec![
-            BusSpan { start: 0, end: 2, label: a },
-            BusSpan { start: 2, end: 4, label: b },
+            BusSpan {
+                start: 0,
+                end: 2,
+                label: a,
+            },
+            BusSpan {
+                start: 2,
+                end: 4,
+                label: b,
+            },
         ],
     }
 }
@@ -165,8 +173,16 @@ fn eight_edge(command: Command) -> TimingDiagram {
             (7, Level::Released),
         ],
         ad: vec![
-            BusSpan { start: 0, end: 3, label: req },
-            BusSpan { start: 5, end: 8, label: rsp },
+            BusSpan {
+                start: 0,
+                end: 3,
+                label: req,
+            },
+            BusSpan {
+                start: 5,
+                end: 8,
+                label: rsp,
+            },
         ],
     }
 }
@@ -186,9 +202,27 @@ fn streaming(command: Command, words: usize) -> TimingDiagram {
         } else {
             (&mut is, &mut ik)
         };
-        line.push((e, if w % 2 == 0 { Level::Asserted } else { Level::Released }));
-        other.push((e + 1, if w % 2 == 0 { Level::Asserted } else { Level::Released }));
-        ad.push(BusSpan { start: e, end: e + 2, label: "DATA" });
+        line.push((
+            e,
+            if w % 2 == 0 {
+                Level::Asserted
+            } else {
+                Level::Released
+            },
+        ));
+        other.push((
+            e + 1,
+            if w % 2 == 0 {
+                Level::Asserted
+            } else {
+                Level::Released
+            },
+        ));
+        ad.push(BusSpan {
+            start: e,
+            end: e + 2,
+            label: "DATA",
+        });
     }
     // Lines return released after an even number of transfers (§5.3.1 —
     // which is why the bus grants two transfers at a time).
@@ -247,7 +281,10 @@ mod tests {
         for c in Command::ALL {
             let art = TimingDiagram::for_command(c, 4).render();
             for name in ["BBSY", "IS  ", "IK  "] {
-                let row = art.lines().find(|l| l.starts_with(name.trim_end())).unwrap();
+                let row = art
+                    .lines()
+                    .find(|l| l.starts_with(name.trim_end()))
+                    .unwrap();
                 let last = row.chars().last().unwrap();
                 assert_eq!(last, '‾', "{c}: {name} ends {last} in\n{art}");
             }

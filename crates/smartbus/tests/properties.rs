@@ -25,9 +25,7 @@ proptest! {
 
 mod engine_timing {
     use super::*;
-    use smartbus::{
-        BlockDirection, BusEngine, BusSlave, Response, SlaveError, Tag, Transaction,
-    };
+    use smartbus::{BlockDirection, BusEngine, BusSlave, Response, SlaveError, Tag, Transaction};
     use smartmem::SmartMemory;
 
     #[derive(Debug, Clone)]
@@ -141,7 +139,9 @@ mod engine_timing {
         struct FailingSlave;
         impl BusSlave for FailingSlave {
             fn simple_read(&mut self, addr: u16) -> Result<u16, SlaveError> {
-                Err(SlaveError::AddressOutOfRange { addr: u32::from(addr) })
+                Err(SlaveError::AddressOutOfRange {
+                    addr: u32::from(addr),
+                })
             }
             fn write_word(&mut self, _: u16, _: u16) -> Result<(), SlaveError> {
                 Ok(())
@@ -180,7 +180,8 @@ mod engine_timing {
 
         let mut bus = BusEngine::new(FailingSlave, RequestNumber::new(7));
         let unit = bus.add_unit("u", RequestNumber::new(1)).unwrap();
-        bus.submit(unit, Transaction::SimpleRead { addr: 4 }).unwrap();
+        bus.submit(unit, Transaction::SimpleRead { addr: 4 })
+            .unwrap();
         assert!(bus.run_until_idle().is_err());
     }
 }

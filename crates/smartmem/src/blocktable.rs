@@ -85,7 +85,14 @@ impl BlockTable {
             .find(|t| self.entries.iter().all(|e| e.tag.0 != *t))
             .expect("capacity check guarantees a free tag");
         self.next_tag = (tag + 1) & 0x0F;
-        self.entries.push(BlockEntry { tag: Tag(tag), addr, count, direction, done: 0, priority });
+        self.entries.push(BlockEntry {
+            tag: Tag(tag),
+            addr,
+            count,
+            direction,
+            done: 0,
+            priority,
+        });
         Ok(Tag(tag))
     }
 
@@ -147,7 +154,10 @@ mod tests {
         for _ in 0..BlockTable::CAPACITY {
             t.insert(0, 2, BlockDirection::Write, 0).unwrap();
         }
-        assert_eq!(t.insert(0, 2, BlockDirection::Write, 0), Err(SlaveError::BlockTableFull));
+        assert_eq!(
+            t.insert(0, 2, BlockDirection::Write, 0),
+            Err(SlaveError::BlockTableFull)
+        );
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl SmartMemory {
     /// Panics if `size` exceeds the 16-bit address space (see
     /// [`Memory::new`]).
     pub fn new(size: usize) -> SmartMemory {
-        SmartMemory { memory: Memory::new(size), table: BlockTable::new(), stats: ControllerStats::default() }
+        SmartMemory {
+            memory: Memory::new(size),
+            table: BlockTable::new(),
+            stats: ControllerStats::default(),
+        }
     }
 
     /// The underlying memory image.
@@ -206,13 +210,17 @@ mod tests {
     #[test]
     fn block_round_trip_through_table() {
         let mut sm = SmartMemory::new(4096);
-        let tag = sm.block_transfer(0x400, 8, BlockDirection::Write, 3).unwrap();
+        let tag = sm
+            .block_transfer(0x400, 8, BlockDirection::Write, 3)
+            .unwrap();
         assert!(!sm.stream_in(tag, &[0x1111, 0x2222]).unwrap());
         assert!(sm.stream_in(tag, &[0x3333, 0x4444]).unwrap());
         // Table entry retired.
         assert!(sm.block_table().is_empty());
 
-        let tag = sm.block_transfer(0x400, 8, BlockDirection::Read, 3).unwrap();
+        let tag = sm
+            .block_transfer(0x400, 8, BlockDirection::Read, 3)
+            .unwrap();
         assert_eq!(sm.pending_read(), Some(tag));
         let (w1, done1) = sm.stream_out(tag, 2).unwrap();
         assert_eq!(w1, vec![0x1111, 0x2222]);
@@ -248,7 +256,9 @@ mod tests {
     #[test]
     fn block_request_range_checked_up_front() {
         let mut sm = SmartMemory::new(256);
-        let err = sm.block_transfer(250, 10, BlockDirection::Read, 0).unwrap_err();
+        let err = sm
+            .block_transfer(250, 10, BlockDirection::Read, 0)
+            .unwrap_err();
         assert!(matches!(err, SlaveError::AddressOutOfRange { .. }));
         assert!(sm.block_table().is_empty());
     }

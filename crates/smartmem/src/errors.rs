@@ -146,13 +146,19 @@ mod tests {
         ));
         // Unknown tag during execution.
         let mut sm = SmartMemory::new(256);
-        assert!(matches!(sm.stream_out(Tag(7), 2), Err(SlaveError::UnknownTag(Tag(7)))));
+        assert!(matches!(
+            sm.stream_out(Tag(7), 2),
+            Err(SlaveError::UnknownTag(Tag(7)))
+        ));
         // Corrupt list during execution: a "lasso" whose cycle skips the
         // tail, so the walk can never terminate legitimately.
         sm.memory_mut().write_word(0x10, 0x20).unwrap(); // anchor -> tail 0x20
         sm.memory_mut().write_word(0x20, 0x30).unwrap();
         sm.memory_mut().write_word(0x30, 0x40).unwrap();
         sm.memory_mut().write_word(0x40, 0x30).unwrap(); // cycle 0x30 <-> 0x40
-        assert!(matches!(sm.dequeue(0x10, 0xFE), Err(SlaveError::CorruptList { .. })));
+        assert!(matches!(
+            sm.dequeue(0x10, 0xFE),
+            Err(SlaveError::CorruptList { .. })
+        ));
     }
 }

@@ -24,7 +24,10 @@ impl Memory {
     /// 64 KB.
     pub fn new(size: usize) -> Memory {
         assert!(size <= 64 * 1024, "smart bus addresses are 16 bits");
-        Memory { bytes: vec![0; size], cycles: 0 }
+        Memory {
+            bytes: vec![0; size],
+            cycles: 0,
+        }
     }
 
     /// Memory size in bytes.

@@ -93,12 +93,30 @@ pub fn routine_for(command: Command) -> MicroRoutine {
         },
         Command::EnqueueControlBlock => MicroRoutine {
             name: "ENQUEUE CONTROL BLOCK",
-            ops: vec![LatchBus, ReadMem, CompareNull, Branch, ReadMem, WriteMem, WriteMem, WriteMem],
+            ops: vec![
+                LatchBus,
+                ReadMem,
+                CompareNull,
+                Branch,
+                ReadMem,
+                WriteMem,
+                WriteMem,
+                WriteMem,
+            ],
             per_item_ops: vec![],
         },
         Command::FirstControlBlock => MicroRoutine {
             name: "FIRST CONTROL BLOCK",
-            ops: vec![LatchBus, ReadMem, CompareNull, Branch, ReadMem, ReadMem, WriteMem, DriveBus],
+            ops: vec![
+                LatchBus,
+                ReadMem,
+                CompareNull,
+                Branch,
+                ReadMem,
+                ReadMem,
+                WriteMem,
+                DriveBus,
+            ],
             per_item_ops: vec![],
         },
         Command::DequeueControlBlock => MicroRoutine {
@@ -116,7 +134,11 @@ pub fn routine_for(command: Command) -> MicroRoutine {
 /// per-command routines.
 pub fn total_control_bits() -> u64 {
     let main_loop: u64 = 8 * MICRO_INSTRUCTION_BITS; // fetch/dispatch/error
-    Command::ALL.iter().map(|&c| routine_for(c).control_bits()).sum::<u64>() + main_loop
+    Command::ALL
+        .iter()
+        .map(|&c| routine_for(c).control_bits())
+        .sum::<u64>()
+        + main_loop
 }
 
 /// Approximate active-component counts from Table A.1: the data-path chip
@@ -159,9 +181,15 @@ mod tests {
 
     #[test]
     fn queue_ops_are_fixed_cost_except_dequeue() {
-        assert!(routine_for(Command::EnqueueControlBlock).per_item_ops.is_empty());
-        assert!(routine_for(Command::FirstControlBlock).per_item_ops.is_empty());
+        assert!(routine_for(Command::EnqueueControlBlock)
+            .per_item_ops
+            .is_empty());
+        assert!(routine_for(Command::FirstControlBlock)
+            .per_item_ops
+            .is_empty());
         // Dequeue walks the list: per-node cost.
-        assert!(!routine_for(Command::DequeueControlBlock).per_item_ops.is_empty());
+        assert!(!routine_for(Command::DequeueControlBlock)
+            .per_item_ops
+            .is_empty());
     }
 }

@@ -175,16 +175,16 @@ pub fn enqueue_routine() -> MicroRoutine {
     MicroRoutine {
         name: "ENQUEUE CONTROL BLOCK",
         code: vec![
-            /* 0 */ mi(Load, Tail, List, 0),  // tail <- MEM[anchor]
-            /* 1 */ mi(Cmp, Tail, Zero, 0),   // empty list?
-            /* 2 */ mi(Bz, Zero, Zero, 6),    // -> singleton case
-            /* 3 */ mi(Load, Tmp, Tail, 0),   // first <- tail->next
-            /* 4 */ mi(Store, Elem, Tmp, 0),  // element->next <- first
+            /* 0 */ mi(Load, Tail, List, 0), // tail <- MEM[anchor]
+            /* 1 */ mi(Cmp, Tail, Zero, 0), // empty list?
+            /* 2 */ mi(Bz, Zero, Zero, 6), // -> singleton case
+            /* 3 */ mi(Load, Tmp, Tail, 0), // first <- tail->next
+            /* 4 */ mi(Store, Elem, Tmp, 0), // element->next <- first
             /* 5 */ mi(Jmp, Zero, Zero, 7),
-            /* 6 */ mi(Mov, Tmp, Elem, 0),    // element->next <- element
-            /* 7 */ mi(Store, Elem, Tmp, 0),  // (joined path: stores Tmp)
+            /* 6 */ mi(Mov, Tmp, Elem, 0), // element->next <- element
+            /* 7 */ mi(Store, Elem, Tmp, 0), // (joined path: stores Tmp)
             /* 8 */ mi(Cmp, Tail, Zero, 0),
-            /* 9 */ mi(Bz, Zero, Zero, 11),   // empty: skip tail link
+            /* 9 */ mi(Bz, Zero, Zero, 11), // empty: skip tail link
             /*10 */ mi(Store, Tail, Elem, 0), // tail->next <- element
             /*11 */ mi(Store, List, Elem, 0), // anchor <- element
             /*12 */ mi(Halt, Zero, Zero, 0),
@@ -200,20 +200,21 @@ pub fn first_routine() -> MicroRoutine {
     MicroRoutine {
         name: "FIRST CONTROL BLOCK",
         code: vec![
-            /* 0 */ mi(Load, Tail, List, 0),  // tail <- MEM[anchor]
+            /* 0 */ mi(Load, Tail, List, 0), // tail <- MEM[anchor]
             /* 1 */ mi(Cmp, Tail, Zero, 0),
-            /* 2 */ mi(Bz, Zero, Zero, 10),   // empty -> Res = NULL
-            /* 3 */ mi(Load, Res, Tail, 0),   // head <- tail->next
-            /* 4 */ mi(Cmp, Res, Tail, 0),    // single element?
-            /* 5 */ mi(Bz, Zero, Zero, 11),   // -> clear anchor
-            /* 6 */ mi(Load, Tmp, Res, 0),    // second <- head->next
-            /* 7 */ mi(Store, Tail, Tmp, 0),  // tail->next <- second
+            /* 2 */ mi(Bz, Zero, Zero, 10), // empty -> Res = NULL
+            /* 3 */ mi(Load, Res, Tail, 0), // head <- tail->next
+            /* 4 */ mi(Cmp, Res, Tail, 0), // single element?
+            /* 5 */ mi(Bz, Zero, Zero, 11), // -> clear anchor
+            /* 6 */ mi(Load, Tmp, Res, 0), // second <- head->next
+            /* 7 */ mi(Store, Tail, Tmp, 0), // tail->next <- second
             /* 8 */ mi(Halt, Zero, Zero, 0),
-            /* 9 */ mi(Halt, Zero, Zero, 0),  // (alignment spare)
-            /*10 */ mi(Mov, Res, Zero, 0),    // Res <- NULL
+            /* 9 */ mi(Halt, Zero, Zero, 0), // (alignment spare)
+            /*10 */ mi(Mov, Res, Zero, 0), // Res <- NULL
             /*11 */ mi(Store, List, Zero, 0), // anchor <- NULL (empty path:
             //         harmless re-clear; singleton path: required)
-            /*12 */ mi(Halt, Zero, Zero, 0),
+            /*12 */
+            mi(Halt, Zero, Zero, 0),
         ],
     }
 }
@@ -226,34 +227,36 @@ pub fn dequeue_routine() -> MicroRoutine {
     MicroRoutine {
         name: "DEQUEUE CONTROL BLOCK",
         code: vec![
-            /* 0 */ mi(Load, Tail, List, 0),  // tail <- MEM[anchor]
+            /* 0 */ mi(Load, Tail, List, 0), // tail <- MEM[anchor]
             /* 1 */ mi(Cmp, Tail, Zero, 0),
-            /* 2 */ mi(Bz, Zero, Zero, 18),   // empty: no-op
+            /* 2 */ mi(Bz, Zero, Zero, 18), // empty: no-op
             /* 3 */ mi(Mov, Curr, Tail, 0),
             // loop:
             /* 4 */ mi(Mov, Prev, Curr, 0),
-            /* 5 */ mi(Load, Curr, Prev, 0),  // curr <- prev->next
+            /* 5 */ mi(Load, Curr, Prev, 0), // curr <- prev->next
             /* 6 */ mi(Cmp, Curr, Elem, 0),
-            /* 7 */ mi(Bz, Zero, Zero, 12),   // found
+            /* 7 */ mi(Bz, Zero, Zero, 12), // found
             /* 8 */ mi(Cmp, Curr, Tail, 0),
-            /* 9 */ mi(Bz, Zero, Zero, 18),   // walked the whole cycle
-            /*10 */ mi(Dec, Count, Zero, 0),  // watchdog
-            /*11 */ mi(Bnz, Zero, Zero, 4),   // keep walking
+            /* 9 */ mi(Bz, Zero, Zero, 18), // walked the whole cycle
+            /*10 */ mi(Dec, Count, Zero, 0), // watchdog
+            /*11 */ mi(Bnz, Zero, Zero, 4), // keep walking
             //      watchdog expired:
-            /*12 */ mi(Cmp, Curr, Elem, 0),   // (re-test: fall-through from 11 means fault)
-            /*13 */ mi(Bnz, Zero, Zero, 19),  // not found + expired -> fault
+            /*12 */
+            mi(Cmp, Curr, Elem, 0), // (re-test: fall-through from 11 means fault)
+            /*13 */ mi(Bnz, Zero, Zero, 19), // not found + expired -> fault
             // found:
-            /*14 */ mi(Cmp, Curr, Prev, 0),   // singleton?
+            /*14 */ mi(Cmp, Curr, Prev, 0), // singleton?
             /*15 */ mi(Bz, Zero, Zero, 20),
-            /*16 */ mi(Load, Tmp, Elem, 0),   // after <- element->next
-            /*17 */ mi(Store, Prev, Tmp, 0),  // prev->next <- after
+            /*16 */ mi(Load, Tmp, Elem, 0), // after <- element->next
+            /*17 */ mi(Store, Prev, Tmp, 0), // prev->next <- after
             //      fix anchor if tail removed, then halt:
-            /*18 */ mi(Jmp, Zero, Zero, 21),
+            /*18 */
+            mi(Jmp, Zero, Zero, 21),
             /*19 */ mi(Fault, Zero, Zero, 0),
             /*20 */ mi(Store, List, Zero, 0), // singleton: anchor <- NULL
             /*21 */ mi(Cmp, Tail, Elem, 0),
             /*22 */ mi(Bnz, Zero, Zero, 25),
-            /*23 */ mi(Cmp, Curr, Prev, 0),   // singleton already handled
+            /*23 */ mi(Cmp, Curr, Prev, 0), // singleton already handled
             /*24 */ mi(Bnz, Zero, Zero, 26),
             /*25 */ mi(Halt, Zero, Zero, 0),
             /*26 */ mi(Store, List, Prev, 0), // anchor <- prev
@@ -279,7 +282,11 @@ impl Default for Sequencer {
 impl Sequencer {
     /// A sequencer with cleared registers.
     pub fn new() -> Sequencer {
-        Sequencer { regs: [0; REG_COUNT], zero_flag: false, cycles: 0 }
+        Sequencer {
+            regs: [0; REG_COUNT],
+            zero_flag: false,
+            cycles: 0,
+        }
     }
 
     /// Latches a register from the bus (the `LatchBus` step).
@@ -443,7 +450,10 @@ mod tests {
             queue::enqueue(&mut sw, LIST, e).unwrap();
         }
         assert_eq!(hw.dump(0, 1024).unwrap(), sw.dump(0, 1024).unwrap());
-        assert_eq!(queue::elements(&mut hw, LIST).unwrap(), vec![0x100, 0x200, 0x300]);
+        assert_eq!(
+            queue::elements(&mut hw, LIST).unwrap(),
+            vec![0x100, 0x200, 0x300]
+        );
     }
 
     #[test]

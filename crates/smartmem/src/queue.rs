@@ -38,13 +38,13 @@ fn write_next(mem: &mut Memory, block: u16, next: u16) -> Result<(), SlaveError>
 pub fn enqueue(mem: &mut Memory, list: u16, element: u16) -> Result<(), SlaveError> {
     let tail = mem.read_word(list)?;
     if tail != NULL_PTR {
-        // first entry on the list; element points at it; old tail points at
-        // element.
+        // Non-empty list: element slots in after the old tail, pointing at
+        // the head the old tail used to reach.
         let first = read_next(mem, tail)?;
         write_next(mem, element, first)?;
         write_next(mem, tail, element)?;
     } else {
-        // Only member in the list points at itself.
+        // First entry on the list: the only member points at itself.
         write_next(mem, element, element)?;
     }
     // Element is the new tail.

@@ -168,6 +168,63 @@ proptest! {
         }
     }
 
+    /// Draining a list of any size via repeated dequeue always ends with the
+    /// anchor back at the distinguished NULL value — no dangling tail.
+    #[test]
+    fn dequeue_drains_to_empty(mut ids in proptest::collection::btree_set(0u8..32, 1..16)) {
+        let mut mem = Memory::new(4096);
+        for &i in &ids {
+            queue::enqueue(&mut mem, LIST, element_addr(i)).unwrap();
+        }
+        // Remove in an order different from insertion: alternate ends.
+        let mut from_front = true;
+        while let Some(i) = if from_front { ids.pop_first() } else { ids.pop_last() } {
+            from_front = !from_front;
+            queue::dequeue(&mut mem, LIST, element_addr(i)).unwrap();
+        }
+        prop_assert_eq!(mem.read_word(LIST).unwrap(), smartmem::NULL_PTR);
+        prop_assert!(queue::elements(&mut mem, LIST).unwrap().is_empty());
+    }
+
+    /// A single-element list is a self-loop: the element's next pointer is
+    /// itself, and the anchor names it as tail, whatever element it is.
+    #[test]
+    fn singleton_is_self_loop(i in 0u8..32) {
+        let mut mem = Memory::new(4096);
+        let e = element_addr(i);
+        queue::enqueue(&mut mem, LIST, e).unwrap();
+        prop_assert_eq!(mem.read_word(LIST).unwrap(), e);
+        prop_assert_eq!(mem.read_word(e + queue::NEXT_OFFSET).unwrap(), e);
+        // First returns the element and restores the empty anchor.
+        prop_assert_eq!(queue::first(&mut mem, LIST).unwrap(), Some(e));
+        prop_assert_eq!(mem.read_word(LIST).unwrap(), smartmem::NULL_PTR);
+    }
+
+    /// Enqueue after a full drain rebuilds a well-formed list: the empty
+    /// anchor carries no stale state from the previous population.
+    #[test]
+    fn enqueue_after_drain_rebuilds(
+        first_gen in proptest::collection::btree_set(0u8..16, 1..8),
+        second_gen in proptest::collection::btree_set(16u8..32, 1..8),
+    ) {
+        let mut mem = Memory::new(4096);
+        for &i in &first_gen {
+            queue::enqueue(&mut mem, LIST, element_addr(i)).unwrap();
+        }
+        for _ in 0..first_gen.len() {
+            prop_assert!(queue::first(&mut mem, LIST).unwrap().is_some());
+        }
+        prop_assert_eq!(queue::first(&mut mem, LIST).unwrap(), None);
+        // Second generation: FIFO order and circularity hold afresh.
+        let want: Vec<u16> = second_gen.iter().map(|&i| element_addr(i)).collect();
+        for &e in &want {
+            queue::enqueue(&mut mem, LIST, e).unwrap();
+        }
+        prop_assert_eq!(queue::elements(&mut mem, LIST).unwrap(), want.clone());
+        let tail = *want.last().unwrap();
+        prop_assert_eq!(mem.read_word(tail + queue::NEXT_OFFSET).unwrap(), want[0]);
+    }
+
     /// §A.5 error handling: out-of-range block requests are rejected before
     /// any state changes; stale tags are rejected.
     #[test]

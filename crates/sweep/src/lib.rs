@@ -1,0 +1,302 @@
+//! # sweep — parallel experiment/sweep engine
+//!
+//! The paper's evaluation is a grid of independent analyses: GTPN solves and
+//! discrete-event runs over `(architecture, locality, conversations,
+//! offered_load, …)`. Every point is independent of every other, so the grid
+//! can be evaluated by a pool of worker threads — but the rendered tables
+//! and figures must come out in *paper order*, byte-identical to a
+//! sequential evaluation. This crate provides exactly that contract:
+//!
+//! * [`Grid`] — an ordered collection of sweep points with an
+//!   order-preserving [`Grid::eval`];
+//! * [`map`] / [`map_with`] — the underlying order-preserving parallel map
+//!   (self-scheduling workers over a shared index, results reassembled by
+//!   position);
+//! * [`point_seed`] — deterministic RNG seeds derived from grid
+//!   coordinates, so DES replications are reproducible run-to-run no matter
+//!   which worker executes them or in what order;
+//! * [`ExecMode`] / [`thread_count`] — environment-controlled execution
+//!   policy: `HSIPC_SWEEP=seq` forces the sequential path, and
+//!   `RAYON_NUM_THREADS` (rayon's conventional knob) or
+//!   `HSIPC_SWEEP_THREADS` sets the worker count.
+//!
+//! Worker panics propagate to the caller — a failing sweep point fails the
+//! whole sweep, as it would sequentially.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// How a sweep is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// In-order, single-threaded — the reference path.
+    Sequential,
+    /// Self-scheduling worker pool; output order is still deterministic.
+    Parallel,
+}
+
+/// The execution mode selected by the environment: `HSIPC_SWEEP=seq`
+/// forces [`ExecMode::Sequential`]; anything else (including unset) is
+/// [`ExecMode::Parallel`].
+pub fn exec_mode() -> ExecMode {
+    match std::env::var("HSIPC_SWEEP") {
+        Ok(v) if v.eq_ignore_ascii_case("seq") || v.eq_ignore_ascii_case("sequential") => {
+            ExecMode::Sequential
+        }
+        _ => ExecMode::Parallel,
+    }
+}
+
+/// Worker count for parallel sweeps: `RAYON_NUM_THREADS` if set (rayon's
+/// conventional knob), else `HSIPC_SWEEP_THREADS`, else the machine's
+/// available parallelism.
+pub fn thread_count() -> usize {
+    for var in ["RAYON_NUM_THREADS", "HSIPC_SWEEP_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Order-preserving map over `items` using the environment's execution mode
+/// and thread count. `out[i]` is always `f(&items[i])`.
+pub fn map<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    map_with(exec_mode(), thread_count(), items, f)
+}
+
+/// Order-preserving map with explicit mode and thread count — the testable
+/// core of [`map`].
+pub fn map_with<I, O, F>(mode: ExecMode, threads: usize, items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let workers = threads.min(items.len());
+    if mode == ExecMode::Sequential || workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Self-scheduling pool: workers claim the next unstarted index, so a
+    // slow point (a big GTPN solve) does not hold up the others; results
+    // carry their index and are reassembled in grid order afterwards.
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = f(&items[i]);
+                    if tx.send((i, out)).is_err() {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        // Re-raise a worker's panic with its original payload so a failing
+        // sweep point reports the same message it would sequentially.
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    drop(tx);
+
+    let mut slots: Vec<Option<O>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, out) in rx {
+        slots[i] = Some(out);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every sweep point produced a result"))
+        .collect()
+}
+
+/// An ordered grid of independent sweep points.
+///
+/// The order of `points` is the *paper order* — the order rows appear in
+/// the rendered table or figure — and [`Grid::eval`] returns results in
+/// exactly that order regardless of execution mode.
+#[derive(Debug, Clone)]
+pub struct Grid<P> {
+    points: Vec<P>,
+}
+
+impl<P> Grid<P> {
+    /// A grid from points already in paper order.
+    pub fn new(points: Vec<P>) -> Grid<P> {
+        Grid { points }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the grid has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points, in paper order.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// Evaluates every point under the environment's execution policy;
+    /// `out[i]` corresponds to `points()[i]`.
+    pub fn eval<O, F>(&self, f: F) -> Vec<O>
+    where
+        P: Sync,
+        O: Send,
+        F: Fn(&P) -> O + Sync,
+    {
+        map(&self.points, f)
+    }
+
+    /// Evaluates with an explicit mode — used by the byte-identity tests.
+    pub fn eval_with<O, F>(&self, mode: ExecMode, threads: usize, f: F) -> Vec<O>
+    where
+        P: Sync,
+        O: Send,
+        F: Fn(&P) -> O + Sync,
+    {
+        map_with(mode, threads, &self.points, f)
+    }
+}
+
+/// The cartesian product `outer × inner`, outer-major — the nested-loop
+/// order `for o in outer { for i in inner { … } }` used by the paper's
+/// tables.
+pub fn cartesian<A: Clone, B: Clone>(outer: &[A], inner: &[B]) -> Grid<(A, B)> {
+    let mut points = Vec::with_capacity(outer.len() * inner.len());
+    for o in outer {
+        for i in inner {
+            points.push((o.clone(), i.clone()));
+        }
+    }
+    Grid::new(points)
+}
+
+/// Deterministic RNG seed for one grid point, derived from the experiment
+/// id and the point's coordinates — never from a shared RNG, so the seed a
+/// point gets does not depend on which worker ran first.
+///
+/// FNV-1a over the label and coordinate words, finished with a SplitMix64
+/// scramble for avalanche.
+pub fn point_seed(experiment: &str, coords: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in experiment.bytes() {
+        eat(b);
+    }
+    for &c in coords {
+        for b in c.to_le_bytes() {
+            eat(b);
+        }
+    }
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..97).collect();
+        let seq = map_with(ExecMode::Sequential, 1, &items, |&x| x * x);
+        for threads in [2, 3, 8] {
+            let par = map_with(ExecMode::Parallel, threads, &items, |&x| x * x);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn all_points_evaluated_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..50).collect();
+        let out = map_with(ExecMode::Parallel, 4, &items, |&x| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            x + 1
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 50);
+        assert_eq!(out, (1..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_grids() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_with(ExecMode::Parallel, 4, &empty, |&x| x).is_empty());
+        assert_eq!(
+            map_with(ExecMode::Parallel, 4, &[7u32], |&x| x * 2),
+            vec![14]
+        );
+        let g: Grid<u32> = Grid::new(vec![]);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep point 13")]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..40).collect();
+        let _ = map_with(ExecMode::Parallel, 4, &items, |&x| {
+            assert!(x != 13, "sweep point 13 failed");
+            x
+        });
+    }
+
+    #[test]
+    fn cartesian_is_outer_major() {
+        let g = cartesian(&['a', 'b'], &[1, 2, 3]);
+        let want = [('a', 1), ('a', 2), ('a', 3), ('b', 1), ('b', 2), ('b', 3)];
+        assert_eq!(g.points(), &want[..]);
+        assert_eq!(g.len(), 6);
+    }
+
+    #[test]
+    fn point_seeds_are_stable_and_distinct() {
+        let a = point_seed("fig6.15", &[1, 0]);
+        assert_eq!(a, point_seed("fig6.15", &[1, 0]), "same point, same seed");
+        assert_ne!(a, point_seed("fig6.15", &[1, 1]), "coords matter");
+        assert_ne!(a, point_seed("fig6.16", &[1, 0]), "experiment id matters");
+        // Coordinate boundaries are not ambiguous: [1,0] vs [1] differ.
+        assert_ne!(a, point_seed("fig6.15", &[1]));
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let editor = kernel.create_task("editor", 1, 8 * 1024);
     let file_server = kernel.create_task("file-server", 1, 64 * 1024);
     let files = kernel.create_service("file-service");
-    let addr = ServiceAddr { node: kernel.node(), service: files };
+    let addr = ServiceAddr {
+        node: kernel.node(),
+        service: files,
+    };
 
     // "Mount the disk": load sixteen pages into the server's space, each
     // stamped with its page number and filled with recognizable content.
@@ -40,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         editor,
         Syscall::Send {
             to: addr,
-            message: Message { data: request, memory_ref: None }.with_memory_ref(MemoryRef {
+            message: Message {
+                data: request,
+                memory_ref: None,
+            }
+            .with_memory_ref(MemoryRef {
                 offset: 1024,
                 length: PAGE as u32,
                 rights: AccessRights::read_write(),
@@ -51,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     pump(&mut kernel);
 
     // The file server parses the request and moves the page.
-    let delivered = kernel.task(file_server)?.delivered.expect("request arrived");
+    let delivered = kernel
+        .task(file_server)?
+        .delivered
+        .expect("request arrived");
     let page_no = delivered.data[10] as usize;
     println!("file server: request for page {page_no}");
     kernel.submit(
@@ -63,7 +73,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
     pump(&mut kernel);
-    kernel.submit(file_server, Syscall::Reply { message: Message::from_bytes(b"ok") })?;
+    kernel.submit(
+        file_server,
+        Syscall::Reply {
+            message: Message::from_bytes(b"ok"),
+        },
+    )?;
     pump(&mut kernel);
 
     // The editor now holds the page.
@@ -72,13 +87,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("editor buffer starts with: {got:?}");
     assert_eq!(got[0] as usize, page_no, "page stamp arrived");
     assert_eq!(&got[1..8], b"PAGE-OF");
-    println!("reply: {:?}", &editor_task.delivered.expect("replied").data[..2]);
+    println!(
+        "reply: {:?}",
+        &editor_task.delivered.expect("replied").data[..2]
+    );
 
     // After the reply the server's access rights are gone (§4.2.1): another
     // move is refused by the kernel's validity checking.
     kernel.submit(
         file_server,
-        Syscall::MemoryMove { direction: MoveDirection::ToClient, local_offset: 0, length: 8 },
+        Syscall::MemoryMove {
+            direction: MoveDirection::ToClient,
+            local_offset: 0,
+            length: 8,
+        },
     )?;
     let t = kernel.next_communication().expect("request queued");
     match kernel.process(t) {

@@ -13,7 +13,12 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = local::build(Architecture::MessageCoprocessor, 2, 1_140.0)?;
-    println!("net: {} ({} places, {} transitions)", net.name(), net.place_count(), net.transition_count());
+    println!(
+        "net: {} ({} places, {} transitions)",
+        net.name(),
+        net.place_count(),
+        net.transition_count()
+    );
 
     // Structure: conservation laws.
     let basis = invariant::p_invariants(&net);
@@ -25,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .filter(|&(_, &w)| w != 0)
             .map(|(i, &w)| {
                 let name = net.place_name(hsipc::gtpn::PlaceId(i));
-                if w == 1 { name.to_string() } else { format!("{w}·{name}") }
+                if w == 1 {
+                    name.to_string()
+                } else {
+                    format!("{w}·{name}")
+                }
             })
             .collect();
         let conserved = invariant::weighted_tokens(&net.initial_marking(), y);
@@ -36,23 +45,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Reachability: size, bounds, liveness.
     let graph = net.reachability(2_000_000)?;
-    println!("\nreachability: {} tangible states, {} edges", graph.state_count(), graph.edge_count());
+    println!(
+        "\nreachability: {} tangible states, {} edges",
+        graph.state_count(),
+        graph.edge_count()
+    );
     let host = net.place_by_name("Host").expect("model has a Host place");
-    println!("Host place bound: {} (the processor token is almost always in use)", graph.place_bound(host));
+    println!(
+        "Host place bound: {} (the processor token is almost always in use)",
+        graph.place_bound(host)
+    );
     let dead = graph.dead_transitions();
-    println!("dead transitions: {}", if dead.is_empty() { "none".into() } else { format!("{dead:?}") });
+    println!(
+        "dead transitions: {}",
+        if dead.is_empty() {
+            "none".into()
+        } else {
+            format!("{dead:?}")
+        }
+    );
 
     // Exact steady state.
     let sol = graph.solve(1e-11, 400_000)?;
     let exact = sol.resource_usage("lambda")?;
-    println!("\nexact throughput: {:.6} conversations/µs ({:.4}/ms)", exact, exact * 1_000.0);
-    println!("solver: {} sweeps, residual {:.2e}", sol.iterations(), sol.residual());
+    println!(
+        "\nexact throughput: {:.6} conversations/µs ({:.4}/ms)",
+        exact,
+        exact * 1_000.0
+    );
+    println!(
+        "solver: {} sweeps, residual {:.2e}",
+        sol.iterations(),
+        sol.residual()
+    );
 
     // Monte-Carlo cross-check with a confidence interval.
     let mut rng = StdRng::seed_from_u64(2026);
     let ci = confidence_interval(
         &net,
-        &SimOptions { horizon: 400_000, warmup: 40_000 },
+        &SimOptions {
+            horizon: 400_000,
+            warmup: 40_000,
+        },
         "lambda",
         6,
         &mut rng,
@@ -61,13 +95,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "monte-carlo: {:.6} ± {:.6} ({})",
         ci.estimate,
         ci.half_width,
-        if ci.contains(exact) { "covers the exact value" } else { "MISSES the exact value!" }
+        if ci.contains(exact) {
+            "covers the exact value"
+        } else {
+            "MISSES the exact value!"
+        }
     );
     assert!(ci.contains(exact));
 
     // DOT export for visual inspection.
     let dot_text = dot::to_dot(&net);
-    println!("\nDOT export: {} lines; render with `dot -Tsvg`", dot_text.lines().count());
-    println!("first lines:\n{}", dot_text.lines().take(5).collect::<Vec<_>>().join("\n"));
+    println!(
+        "\nDOT export: {} lines; render with `dot -Tsvg`",
+        dot_text.lines().count()
+    );
+    println!(
+        "first lines:\n{}",
+        dot_text.lines().take(5).collect::<Vec<_>>().join("\n")
+    );
     Ok(())
 }

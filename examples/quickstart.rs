@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let client = kernel.create_task("client", 1, 256);
     let server = kernel.create_task("server", 1, 256);
     let svc = kernel.create_service("greeter");
-    let addr = ServiceAddr { node: kernel.node(), service: svc };
+    let addr = ServiceAddr {
+        node: kernel.node(),
+        service: svc,
+    };
 
     // The server advertises the service and posts a receive.
     kernel.submit(server, Syscall::Offer { service: svc })?;
@@ -23,13 +26,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The client performs a blocking remote-invocation send.
     kernel.submit(
         client,
-        Syscall::Send { to: addr, message: Message::from_bytes(b"ping"), mode: SendMode::invocation() },
+        Syscall::Send {
+            to: addr,
+            message: Message::from_bytes(b"ping"),
+            mode: SendMode::invocation(),
+        },
     )?;
     pump(&mut kernel);
     let request = kernel.task(server)?.delivered.expect("rendezvous formed");
     println!("server received: {:?}", &request.data[..4]);
 
-    kernel.submit(server, Syscall::Reply { message: Message::from_bytes(b"pong") })?;
+    kernel.submit(
+        server,
+        Syscall::Reply {
+            message: Message::from_bytes(b"pong"),
+        },
+    )?;
     pump(&mut kernel);
     let reply = kernel.task(client)?.delivered.expect("reply delivered");
     println!("client received: {:?}", &reply.data[..4]);

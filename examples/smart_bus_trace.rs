@@ -6,9 +6,7 @@
 //!
 //! Run with: `cargo run --release --example smart_bus_trace`
 
-use hsipc::smartbus::{
-    BlockDirection, BusEngine, RequestNumber, Response, Transaction,
-};
+use hsipc::smartbus::{BlockDirection, BusEngine, RequestNumber, Response, Transaction};
 use hsipc::smartmem::SmartMemory;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -37,7 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // Mid-stream, the MP needs atomic queue work: it wins the next
     // arbitrations and the block yields between word pairs.
-    bus.submit(mp, Transaction::Enqueue { list: 0x20, element: 0x200 })?;
+    bus.submit(
+        mp,
+        Transaction::Enqueue {
+            list: 0x20,
+            element: 0x200,
+        },
+    )?;
     bus.step()?;
     bus.submit(mp, Transaction::First { list: 0x20 })?;
     bus.step()?;

@@ -29,14 +29,20 @@ fn exact_solver_agrees_with_monte_carlo() {
         let mut rng = StdRng::seed_from_u64(123);
         let mc = simulate(
             &net,
-            &SimOptions { horizon: 3_000_000, warmup: 300_000 },
+            &SimOptions {
+                horizon: 3_000_000,
+                warmup: 300_000,
+            },
             &mut rng,
         )
         .unwrap()
         .resource_usage("lambda")
         .unwrap();
         let rel = (exact - mc).abs() / exact;
-        assert!(rel < 0.03, "{arch} n={n}: exact {exact} vs MC {mc} ({rel:.3})");
+        assert!(
+            rel < 0.03,
+            "{arch} n={n}: exact {exact} vs MC {mc} ({rel:.3})"
+        );
     }
 }
 
@@ -65,7 +71,10 @@ fn gtpn_model_agrees_with_des_local() {
         // constants; the DES uses FCFS, task binding and endogenous
         // contention. The paper saw 3–25% depending on load; we require
         // the tight end for these mid-load points.
-        assert!(rel < 0.15, "{arch} n={n} x={x}: model {model} vs DES {des} ({rel:.3})");
+        assert!(
+            rel < 0.15,
+            "{arch} n={n} x={x}: model {model} vs DES {des} ({rel:.3})"
+        );
     }
 }
 
@@ -91,7 +100,10 @@ fn architecture_ordering_invariant() {
         };
         des_t.push(Simulation::new(arch, &spec).run().throughput_per_ms);
     }
-    assert!(model_t[0] < model_t[1] && model_t[1] < model_t[2], "model {model_t:?}");
+    assert!(
+        model_t[0] < model_t[1] && model_t[1] < model_t[2],
+        "model {model_t:?}"
+    );
     assert!(des_t[0] < des_t[1] && des_t[1] < des_t[2], "DES {des_t:?}");
 }
 
@@ -100,10 +112,12 @@ fn architecture_ordering_invariant() {
 #[test]
 fn multi_host_extension_cross_validates() {
     let x = 5_700.0;
-    let model_1 = hsipc::models::local::solve_with_hosts(
-        Architecture::MessageCoprocessor, 3, x, 1).unwrap().throughput_per_ms;
-    let model_2 = hsipc::models::local::solve_with_hosts(
-        Architecture::MessageCoprocessor, 3, x, 2).unwrap().throughput_per_ms;
+    let model_1 = hsipc::models::local::solve_with_hosts(Architecture::MessageCoprocessor, 3, x, 1)
+        .unwrap()
+        .throughput_per_ms;
+    let model_2 = hsipc::models::local::solve_with_hosts(Architecture::MessageCoprocessor, 3, x, 2)
+        .unwrap()
+        .throughput_per_ms;
     let spec = WorkloadSpec {
         conversations: 3,
         server_compute_us: x,
@@ -113,12 +127,17 @@ fn multi_host_extension_cross_validates() {
         seed: 23,
     };
     let des_1 = Simulation::with_hosts(Architecture::MessageCoprocessor, &spec, 1)
-        .run().throughput_per_ms;
+        .run()
+        .throughput_per_ms;
     let des_2 = Simulation::with_hosts(Architecture::MessageCoprocessor, &spec, 2)
-        .run().throughput_per_ms;
+        .run()
+        .throughput_per_ms;
     let model_gain = model_2 / model_1;
     let des_gain = des_2 / des_1;
-    assert!(model_gain > 1.2 && des_gain > 1.2, "model {model_gain} des {des_gain}");
+    assert!(
+        model_gain > 1.2 && des_gain > 1.2,
+        "model {model_gain} des {des_gain}"
+    );
     assert!(
         (model_gain - des_gain).abs() / des_gain < 0.25,
         "model gain {model_gain} vs DES gain {des_gain}"
@@ -135,7 +154,10 @@ fn architecture_nets_conserve_tokens() {
         let basis = invariant::p_invariants(&net);
         assert!(!basis.is_empty(), "{arch}: no invariants");
         for y in &basis {
-            assert!(invariant::is_invariant(&net, y), "{arch}: basis vector fails");
+            assert!(
+                invariant::is_invariant(&net, y),
+                "{arch}: basis vector fails"
+            );
         }
         // The Host place participates in some conservation law (the
         // processor token never leaks).

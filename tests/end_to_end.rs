@@ -22,10 +22,15 @@ fn des(arch: Architecture, n: usize, x: f64, locality: Locality) -> f64 {
 fn conclusion_1_partition_and_smart_bus_win() {
     let x = 2_850.0; // offered load ≈ 0.64 under architecture I (local)
     for n in [2u32, 4] {
-        let a1 = local::solve(Architecture::Uniprocessor, n, x).unwrap().throughput_per_ms;
-        let a2 =
-            local::solve(Architecture::MessageCoprocessor, n, x).unwrap().throughput_per_ms;
-        let a3 = local::solve(Architecture::SmartBus, n, x).unwrap().throughput_per_ms;
+        let a1 = local::solve(Architecture::Uniprocessor, n, x)
+            .unwrap()
+            .throughput_per_ms;
+        let a2 = local::solve(Architecture::MessageCoprocessor, n, x)
+            .unwrap()
+            .throughput_per_ms;
+        let a3 = local::solve(Architecture::SmartBus, n, x)
+            .unwrap()
+            .throughput_per_ms;
         assert!(a2 > a1 * 1.15, "n={n}: II {a2} vs I {a1}");
         assert!(a3 > a2, "n={n}: III {a3} vs II {a2}");
     }
@@ -39,14 +44,24 @@ fn conclusion_1_partition_and_smart_bus_win() {
 /// sublinear because the MP's bandwidth is finite.
 #[test]
 fn conclusion_2_small_single_conversation_loss_sublinear_scaling() {
-    let a1 = local::solve(Architecture::Uniprocessor, 1, 0.0).unwrap().throughput_per_ms;
-    let a2 = local::solve(Architecture::MessageCoprocessor, 1, 0.0).unwrap().throughput_per_ms;
+    let a1 = local::solve(Architecture::Uniprocessor, 1, 0.0)
+        .unwrap()
+        .throughput_per_ms;
+    let a2 = local::solve(Architecture::MessageCoprocessor, 1, 0.0)
+        .unwrap()
+        .throughput_per_ms;
     let loss = 1.0 - a2 / a1;
     assert!(loss > 0.0 && loss < 0.2, "loss {loss}");
 
-    let t1 = local::solve(Architecture::MessageCoprocessor, 1, 0.0).unwrap().throughput_per_ms;
-    let t2 = local::solve(Architecture::MessageCoprocessor, 2, 0.0).unwrap().throughput_per_ms;
-    let t4 = local::solve(Architecture::MessageCoprocessor, 4, 0.0).unwrap().throughput_per_ms;
+    let t1 = local::solve(Architecture::MessageCoprocessor, 1, 0.0)
+        .unwrap()
+        .throughput_per_ms;
+    let t2 = local::solve(Architecture::MessageCoprocessor, 2, 0.0)
+        .unwrap()
+        .throughput_per_ms;
+    let t4 = local::solve(Architecture::MessageCoprocessor, 4, 0.0)
+        .unwrap()
+        .throughput_per_ms;
     assert!(t2 > t1 && t4 > t2, "throughput must grow: {t1} {t2} {t4}");
     assert!(t4 < 4.0 * t1, "but sublinearly: {t4} vs 4x{t1}");
     assert!(t4 - t2 < t2 - t1 + 1e-9, "with diminishing returns");
@@ -55,8 +70,12 @@ fn conclusion_2_small_single_conversation_loss_sublinear_scaling() {
 /// §6.10 (3): smart bus primitives help for non-local conversations too.
 #[test]
 fn conclusion_3_smart_bus_helps_nonlocal() {
-    let a1 = nonlocal::solve(Architecture::Uniprocessor, 2, 0.0).unwrap().throughput_per_ms;
-    let a3 = nonlocal::solve(Architecture::SmartBus, 2, 0.0).unwrap().throughput_per_ms;
+    let a1 = nonlocal::solve(Architecture::Uniprocessor, 2, 0.0)
+        .unwrap()
+        .throughput_per_ms;
+    let a3 = nonlocal::solve(Architecture::SmartBus, 2, 0.0)
+        .unwrap()
+        .throughput_per_ms;
     assert!(a3 > a1 * 1.2, "III {a3} vs I {a1}");
 
     let d1 = des(Architecture::Uniprocessor, 2, 0.0, Locality::NonLocal);
@@ -69,9 +88,12 @@ fn conclusion_3_smart_bus_helps_nonlocal() {
 #[test]
 fn conclusion_4_partitioned_bus_marginal() {
     for (n, x) in [(2u32, 0.0), (3, 1_140.0)] {
-        let a3 = local::solve(Architecture::SmartBus, n, x).unwrap().throughput_per_ms;
-        let a4 =
-            local::solve(Architecture::PartitionedSmartBus, n, x).unwrap().throughput_per_ms;
+        let a3 = local::solve(Architecture::SmartBus, n, x)
+            .unwrap()
+            .throughput_per_ms;
+        let a4 = local::solve(Architecture::PartitionedSmartBus, n, x)
+            .unwrap()
+            .throughput_per_ms;
         let gain = a4 / a3 - 1.0;
         assert!(gain.abs() < 0.06, "n={n} x={x}: gain {gain}");
     }

@@ -3,9 +3,7 @@
 
 use hsipc::msgkernel::{Kernel, KernelEvent, Message, NodeId, SendMode, ServiceAddr, Syscall};
 use hsipc::netsim::{RingNodeId, TokenRing};
-use hsipc::smartbus::{
-    BlockDirection, BusEngine, RequestNumber, Response, Transaction,
-};
+use hsipc::smartbus::{BlockDirection, BusEngine, RequestNumber, Response, Transaction};
 use hsipc::smartmem::{queue, SmartMemory};
 
 /// The full hardware unit: host, MP and NIC sharing the smart memory over
@@ -23,14 +21,21 @@ fn hardware_unit_runs_kernel_data_structures() {
 
     // Startup: the host links four kernel buffers into the free list.
     for i in 0..4u16 {
-        bus.submit(host, Transaction::Enqueue { list: FREE_LIST, element: 0x1000 + i * 64 })
-            .unwrap();
+        bus.submit(
+            host,
+            Transaction::Enqueue {
+                list: FREE_LIST,
+                element: 0x1000 + i * 64,
+            },
+        )
+        .unwrap();
         bus.run_until_idle().unwrap();
     }
 
     // The MP takes a buffer, the NIC fills it with a packet, the MP links
     // the "TCB" (here: the buffer) onto the communication list.
-    bus.submit(mp, Transaction::First { list: FREE_LIST }).unwrap();
+    bus.submit(mp, Transaction::First { list: FREE_LIST })
+        .unwrap();
     let done = bus.run_until_idle().unwrap();
     let buffer = match done[0].response {
         Response::Element(Some(b)) => b,
@@ -49,12 +54,20 @@ fn hardware_unit_runs_kernel_data_structures() {
         },
     )
     .unwrap();
-    bus.submit(mp, Transaction::Enqueue { list: COMM_LIST, element: buffer }).unwrap();
+    bus.submit(
+        mp,
+        Transaction::Enqueue {
+            list: COMM_LIST,
+            element: buffer,
+        },
+    )
+    .unwrap();
     bus.run_until_idle().unwrap();
 
     // The host reads the message back out of the buffer it finds on the
     // communication list.
-    bus.submit(host, Transaction::First { list: COMM_LIST }).unwrap();
+    bus.submit(host, Transaction::First { list: COMM_LIST })
+        .unwrap();
     let done = bus.run_until_idle().unwrap();
     assert_eq!(done[0].response, Response::Element(Some(buffer)));
     bus.submit(
@@ -100,7 +113,10 @@ fn kernels_over_token_ring() {
     a.submit(
         client,
         Syscall::Send {
-            to: ServiceAddr { node: NodeId(1), service: svc },
+            to: ServiceAddr {
+                node: NodeId(1),
+                service: svc,
+            },
             message: Message::from_bytes(b"over the ring"),
             mode: SendMode::invocation(),
         },
@@ -108,7 +124,9 @@ fn kernels_over_token_ring() {
     .unwrap();
     for e in drain(&mut a) {
         if let KernelEvent::PacketOut(p) = e {
-            now = ring.transmit(now, RingNodeId(0), RingNodeId(1), 40, p).unwrap();
+            now = ring
+                .transmit(now, RingNodeId(0), RingNodeId(1), 40, p)
+                .unwrap();
         }
     }
     // 40-byte payload + 16-byte header at 4 Mb/s = 112 µs on the wire.
@@ -121,16 +139,27 @@ fn kernels_over_token_ring() {
         b"over the ring"
     );
 
-    b.submit(server, Syscall::Reply { message: Message::from_bytes(b"done") }).unwrap();
+    b.submit(
+        server,
+        Syscall::Reply {
+            message: Message::from_bytes(b"done"),
+        },
+    )
+    .unwrap();
     for e in drain(&mut b) {
         if let KernelEvent::PacketOut(p) = e {
-            now = ring.transmit(now, RingNodeId(1), RingNodeId(0), 40, p).unwrap();
+            now = ring
+                .transmit(now, RingNodeId(1), RingNodeId(0), 40, p)
+                .unwrap();
         }
     }
     for d in ring.poll(now) {
         a.handle_packet(d.frame.payload).unwrap();
     }
-    assert_eq!(&a.task(client).unwrap().delivered.unwrap().data[..4], b"done");
+    assert_eq!(
+        &a.task(client).unwrap().delivered.unwrap().data[..4],
+        b"done"
+    );
     assert_eq!(ring.stats().frames, 2, "exactly two packets per round trip");
 }
 
@@ -140,7 +169,11 @@ fn experiment_registry_consistent() {
     let all = hsipc::experiments::all();
     assert!(all.len() >= 30);
     for e in &all {
-        assert!(e.id.starts_with("table") || e.id.starts_with("fig"), "{}", e.id);
+        assert!(
+            e.id.starts_with("table") || e.id.starts_with("fig"),
+            "{}",
+            e.id
+        );
         assert!(!e.title.is_empty());
     }
     let out = hsipc::experiments::run("table6.1").unwrap();

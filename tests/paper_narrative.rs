@@ -31,11 +31,19 @@ fn parsed_notation_drives_the_solver() {
         .unwrap();
     let loop_freq = parse::parse_expr(&net, "(NetIntr = 0) -> 1 - 1/50, 0").unwrap();
     net.add_transition(
-        Transition::new("T1").delay(1).frequency(loop_freq).input(p, 1).output(p, 1),
+        Transition::new("T1")
+            .delay(1)
+            .frequency(loop_freq)
+            .input(p, 1)
+            .output(p, 1),
     )
     .unwrap();
     let _ = (intr, exit_t);
-    let sol = net.reachability(1_000).unwrap().solve(1e-12, 100_000).unwrap();
+    let sol = net
+        .reachability(1_000)
+        .unwrap()
+        .solve(1e-12, 100_000)
+        .unwrap();
     let usage = sol.resource_usage("lambda").unwrap();
     assert!((usage - 1.0 / 50.0).abs() < 1e-9, "usage {usage}");
 }
@@ -76,7 +84,10 @@ fn non_blocking_send_across_nodes() {
     a.submit(
         client,
         Syscall::Send {
-            to: ServiceAddr { node: NodeId(1), service: svc },
+            to: ServiceAddr {
+                node: NodeId(1),
+                service: svc,
+            },
             message: Message::from_bytes(b"async"),
             mode: SendMode::RemoteInvocation { blocking: false },
         },
@@ -87,7 +98,13 @@ fn non_blocking_send_across_nodes() {
     assert_eq!(a.task(client).unwrap().state, TaskState::Computing);
 
     b.handle_packet(packet).unwrap();
-    b.submit(server, Syscall::Reply { message: Message::from_bytes(b"done") }).unwrap();
+    b.submit(
+        server,
+        Syscall::Reply {
+            message: Message::from_bytes(b"done"),
+        },
+    )
+    .unwrap();
     let reply = first_packet(drain(&mut b));
     a.handle_packet(reply).unwrap();
 
@@ -97,7 +114,10 @@ fn non_blocking_send_across_nodes() {
     assert!(events
         .iter()
         .any(|e| matches!(e, KernelEvent::WaitComplete { client: c } if *c == client)));
-    assert_eq!(&a.task(client).unwrap().delivered.unwrap().data[..4], b"done");
+    assert_eq!(
+        &a.task(client).unwrap().delivered.unwrap().data[..4],
+        b"done"
+    );
 }
 
 /// Architecture IV under the DES for non-local conversations — the one
@@ -140,11 +160,8 @@ fn offered_load_matches_host_utilization() {
     // always either communication or computation to do), and the fraction
     // of round-trip time that is communication is the offered load.
     assert!(m.host_utilization > 0.97, "host {}", m.host_utilization);
-    let c = hsipc::archsim::timings::round_trip_us(
-        Architecture::Uniprocessor,
-        Locality::Local,
-        false,
-    );
+    let c =
+        hsipc::archsim::timings::round_trip_us(Architecture::Uniprocessor, Locality::Local, false);
     let measured_load = c / m.mean_round_trip_us;
     assert!(
         (measured_load - load).abs() < 0.05,

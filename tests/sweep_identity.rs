@@ -1,0 +1,96 @@
+//! The sweep engine's two contracts, held end to end:
+//!
+//! 1. **Byte identity** — a figure or table rendered by the parallel worker
+//!    pool is byte-for-byte the output of the sequential reference path,
+//!    whatever the thread count.
+//! 2. **Determinism** — DES replications seed from their grid coordinates,
+//!    so the same point gives the same metrics on every run, no matter
+//!    which worker executes it.
+
+use hsipc::archsim::{Architecture, Locality, Simulation, WorkloadSpec};
+use hsipc::sweep::{self, ExecMode};
+
+/// fig6.17 — four GTPN solves per architecture column, the slowest swept
+/// figure in the registry — must render identically in both modes.
+#[test]
+fn fig_6_17_parallel_matches_sequential() {
+    let seq = hsipc::experiments::run_with("fig6.17", ExecMode::Sequential, 1).unwrap();
+    let par = hsipc::experiments::run_with("fig6.17", ExecMode::Parallel, 4).unwrap();
+    assert_eq!(par, seq, "fig6.17 diverged under the worker pool");
+    // Sanity: this is the real figure, not an empty render.
+    assert!(seq.contains("Maximum Communication Load (Local)"));
+    assert!(seq.lines().count() > 10);
+}
+
+/// table6.24 — the offered-load rows sweep — must render identically in
+/// both modes.
+#[test]
+fn table_6_24_parallel_matches_sequential() {
+    let seq = hsipc::experiments::run_with("table6.24", ExecMode::Sequential, 1).unwrap();
+    for threads in [2, 4] {
+        let par = hsipc::experiments::run_with("table6.24", ExecMode::Parallel, threads).unwrap();
+        assert_eq!(par, seq, "table6.24 diverged at {threads} threads");
+    }
+    assert!(seq.contains("Offered Loads"));
+    // Title + header + rule + 13 rows.
+    assert_eq!(seq.lines().count(), 16);
+}
+
+/// The multi-host Chapter 7 grid also survives the pool.
+#[test]
+fn fig_7_1_parallel_matches_sequential() {
+    let seq = hsipc::experiments::run_with("fig7.1", ExecMode::Sequential, 1).unwrap();
+    let par = hsipc::experiments::run_with("fig7.1", ExecMode::Parallel, 3).unwrap();
+    assert_eq!(par, seq);
+}
+
+/// Two DES runs from the same seed produce identical metrics — the
+/// foundation the fig6.15 validation grid's reproducibility rests on.
+#[test]
+fn same_seed_des_runs_are_identical() {
+    let spec = WorkloadSpec {
+        conversations: 2,
+        server_compute_us: 1_140.0,
+        locality: Locality::NonLocal,
+        horizon_us: 400_000.0,
+        warmup_us: 40_000.0,
+        seed: sweep::point_seed("sweep-identity", &[2, 0]),
+    };
+    let a = Simulation::new(Architecture::MessageCoprocessor, &spec).run();
+    let b = Simulation::new(Architecture::MessageCoprocessor, &spec).run();
+    assert_eq!(a, b, "same seed must give bitwise-identical metrics");
+    assert!(a.completed > 0, "simulation actually ran");
+
+    // A different grid coordinate gives a different seed and (for this
+    // workload) different sampled compute times.
+    let other = WorkloadSpec {
+        seed: sweep::point_seed("sweep-identity", &[2, 1]),
+        ..spec
+    };
+    let c = Simulation::new(Architecture::MessageCoprocessor, &spec).run();
+    let d = Simulation::new(Architecture::MessageCoprocessor, &other).run();
+    assert_eq!(a, c);
+    assert_ne!(d, a, "distinct coordinates should not replay the same run");
+}
+
+/// Evaluating a grid point on a pool is observationally the same as calling
+/// the model directly — the engine adds no hidden state.
+#[test]
+fn pooled_model_solve_equals_direct_call() {
+    let direct = hsipc::models::local::solve(Architecture::SmartBus, 2, 0.0)
+        .unwrap()
+        .throughput_per_ms;
+    let grid = sweep::Grid::new(vec![2u32; 4]);
+    let pooled = grid.eval_with(ExecMode::Parallel, 4, |&n| {
+        hsipc::models::local::solve(Architecture::SmartBus, n, 0.0)
+            .unwrap()
+            .throughput_per_ms
+    });
+    for (i, t) in pooled.iter().enumerate() {
+        assert_eq!(
+            t.to_bits(),
+            direct.to_bits(),
+            "slot {i} differs from direct solve"
+        );
+    }
+}

@@ -1,0 +1,539 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors the
+//! subset of proptest its test suites use: the [`proptest!`] macro, range /
+//! tuple / [`strategy::Just`] / [`strategy::Union`] strategies, `prop_map`,
+//! [`any`], and the [`collection`] generators. Semantics deliberately match
+//! upstream where the tests can observe them:
+//!
+//! * each `#[test]` body runs `ProptestConfig::cases` times with freshly
+//!   generated inputs;
+//! * generation is deterministic per test (seeded from the test's module
+//!   path), so failures reproduce run-to-run;
+//! * `PROPTEST_CASES` in the environment overrides the per-suite case count.
+//!
+//! What it does **not** do is shrink: a failing case panics with the
+//! generated inputs un-minimized (assertion messages in this workspace print
+//! the inputs they depend on). Recorded `*.proptest-regressions` files are
+//! not replayed — regressions worth keeping are promoted to explicit unit
+//! tests instead.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    /// Per-suite configuration; only `cases` is honored.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// The case count after applying the `PROPTEST_CASES` env override.
+        pub fn resolved_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v.parse().unwrap_or(self.cases),
+                Err(_) => self.cases,
+            }
+        }
+    }
+
+    /// Deterministic generation source (xoshiro256++ seeded from a label).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        /// An RNG whose stream is a pure function of `label` — typically the
+        /// fully-qualified test name, so every test owns a stable stream.
+        pub fn deterministic(label: &str) -> TestRng {
+            // FNV-1a over the label, then SplitMix64 expansion.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in label.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            let mut sm = h;
+            TestRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[0, span)`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            assert!(span > 0, "empty span");
+            ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<T: Debug> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy for storage in heterogeneous collections.
+    pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        /// Builds a union; panics on an empty arm list.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range {:?}", self);
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range {:?}", self);
+                    let span = (hi as u64) - (lo as u64) + 1;
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span) as $t
+                }
+            }
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    (self.start..=<$t>::MAX).generate(rng)
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range {:?}", self);
+            self.start + (self.end - self.start) * rng.next_f64()
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range {:?}", self);
+            lo + (hi - lo) * rng.next_f64()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:ident),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+
+    /// Types with a canonical full-domain generator.
+    pub trait Arbitrary: Sized + Debug {
+        /// Generates an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy form of [`Arbitrary`]; see [`crate::any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Element-count bounds for collection strategies: `[min, max]`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range {r:?}");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`; see [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; see [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord + Debug,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng).max(usize::from(self.size.min > 0));
+            let mut out = BTreeSet::new();
+            // Duplicates don't grow the set; bound the attempts so a
+            // too-narrow element domain degrades to a smaller set instead of
+            // looping forever.
+            for _ in 0..(16 * target + 64) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// Sets of `size` distinct elements drawn from `element`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Upstream re-exports the crate as `prop` inside the prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body runs
+/// many times against freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($config:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let cases = config.resolved_cases();
+                let mut prop_rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut prop_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Property-test assertion; panics (no shrinking) with the usual message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let v = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (1.0f64..2.0).generate(&mut rng);
+            assert!((1.0..2.0).contains(&f));
+            let hi = (60_000u16..).generate(&mut rng);
+            assert!(hi >= 60_000);
+        }
+    }
+
+    #[test]
+    fn collections_and_unions_generate() {
+        let mut rng = TestRng::deterministic("collections");
+        let strat = crate::collection::vec((0u8..4).prop_map(|x| x * 2), 1..6);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!(!v.is_empty() && v.len() < 6);
+            assert!(v.iter().all(|x| x % 2 == 0 && *x < 8));
+        }
+        let set = crate::collection::btree_set(0u8..8, 1..8).generate(&mut rng);
+        assert!(!set.is_empty() && set.len() < 8);
+        let one = prop_oneof![Just(1u8), Just(2u8), 5u8..7];
+        for _ in 0..100 {
+            let v = one.generate(&mut rng);
+            assert!([1, 2, 5, 6].contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_label() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro wires patterns, strategies and bodies together.
+        #[test]
+        fn macro_roundtrip(mut xs in crate::collection::vec(0u16..100, 1..10), b in any::<bool>()) {
+            xs.push(5);
+            prop_assert!(xs.iter().all(|&x| x <= 100));
+            prop_assert!(u8::from(b) <= 1);
+        }
+    }
+}
