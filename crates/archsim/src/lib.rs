@@ -80,3 +80,63 @@ impl WorkloadSpec {
         }
     }
 }
+
+/// A batch of independent replications: mean throughput with a 95%
+/// confidence half-width, the same batch-means estimate the GTPN engine's
+/// DES backend reports — so model estimates and "experimental" measurements
+/// carry comparable error bars.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Replicated {
+    /// Mean throughput across replications, conversations per millisecond.
+    pub throughput_per_ms: f64,
+    /// 95% confidence half-width on the mean, conversations per millisecond.
+    pub half_width_per_ms: f64,
+    /// Number of replications run.
+    pub replications: usize,
+}
+
+impl Replicated {
+    /// Whether `value` lies inside the confidence interval.
+    pub fn contains(&self, value: f64) -> bool {
+        (value - self.throughput_per_ms).abs() <= self.half_width_per_ms
+    }
+}
+
+/// Runs `replications` independent simulations of `spec` (seeds derived
+/// from `spec.seed` by a SplitMix64 scramble, so replication *r* is the
+/// same run no matter the batch size) and aggregates their throughputs.
+pub fn replicate(
+    arch: Architecture,
+    spec: &WorkloadSpec,
+    hosts: usize,
+    replications: usize,
+) -> Replicated {
+    let replications = replications.max(2);
+    let scramble = |z: u64| {
+        let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let samples: Vec<f64> = (0..replications)
+        .map(|r| {
+            let rep = WorkloadSpec {
+                seed: scramble(spec.seed ^ scramble(r as u64 + 1)),
+                ..*spec
+            };
+            Simulation::with_hosts(arch, &rep, hosts)
+                .run()
+                .throughput_per_ms
+        })
+        .collect();
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0);
+    Replicated {
+        throughput_per_ms: mean,
+        // t ≈ 2.1 for small batch counts — the same constant the GTPN
+        // engine's batch-means interval uses.
+        half_width_per_ms: 2.1 * (var / n).sqrt(),
+        replications,
+    }
+}

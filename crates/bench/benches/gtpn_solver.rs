@@ -21,16 +21,29 @@ fn bench_local_models(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_reachability(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gtpn/reachability");
+fn bench_engine(c: &mut Criterion) {
+    use models::{AnalysisEngine, BackendSel, EngineConfig};
+    let engine = AnalysisEngine::new(EngineConfig {
+        backend: BackendSel::Exact,
+        ..EngineConfig::default()
+    });
+    let net = local::build(Architecture::MessageCoprocessor, 4, 0.0).expect("builds");
+    let mut group = c.benchmark_group("gtpn/engine");
     group.sample_size(20);
-    group.bench_function("archII_local_4conv_graph", |b| {
-        let net = local::build(Architecture::MessageCoprocessor, 4, 0.0).expect("builds");
+    // Cold path: canonicalize + reachability + solve, caches cleared each
+    // iteration.
+    group.bench_function("archII_local_4conv_cold", |b| {
         b.iter(|| {
-            net.reachability(2_000_000)
-                .expect("fits budget")
-                .state_count()
+            gtpn::engine::clear_cache();
+            gtpn::cache::clear();
+            engine.analyze(&net).expect("fits budget").states()
         })
+    });
+    // Hot path: the canonical-fingerprint cache hit every call site pays
+    // after the first solve of a structurally-identical net.
+    group.bench_function("archII_local_4conv_cache_hit", |b| {
+        engine.analyze(&net).expect("fits budget");
+        b.iter(|| engine.analyze(&net).expect("cached").states())
     });
     group.finish();
 }
@@ -60,10 +73,5 @@ fn bench_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_local_models,
-    bench_reachability,
-    bench_simulation
-);
+criterion_group!(benches, bench_local_models, bench_engine, bench_simulation);
 criterion_main!(benches);

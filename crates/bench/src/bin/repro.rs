@@ -29,7 +29,7 @@ fn main() -> ExitCode {
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!("usage: repro [--sequential] [--timing] [list | all | <experiment-id>...]");
         eprintln!("experiment ids: table3.1..table3.7, table5.1, table5.2,");
-        eprintln!("  table6.1, table6.2, table6.4..table6.25, fig6.7..fig6.23, fig7.1");
+        eprintln!("  table6.1, table6.2, table6.4..table6.25, fig6.7..fig6.23, fig7.1, fig7.scale");
         return ExitCode::from(2);
     }
     if args[0] == "list" {
@@ -72,6 +72,18 @@ fn main() -> ExitCode {
             "repro: {} experiment(s) in {:.2?} ({mode:?}, {threads} thread(s))",
             grid.len(),
             started.elapsed()
+        );
+        // Cache statistics go to stderr with the timing report; stdout
+        // stays byte-identical whether caching is on or off.
+        let engine = gtpn::engine::cache_stats();
+        eprintln!(
+            "engine solution cache: {} hits, {} misses, {} evictions, {} entries",
+            engine.hits, engine.misses, engine.evictions, engine.entries
+        );
+        let reach = gtpn::cache::stats();
+        eprintln!(
+            "reachability cache: {} hits, {} misses, {} evictions, {} entries",
+            reach.hits, reach.misses, reach.evictions, reach.entries
         );
     }
     if failed {

@@ -11,7 +11,9 @@
 
 use super::render_table;
 use archsim::timings::{Architecture, Locality};
-use models::{local, nonlocal, offered, validation};
+use models::{
+    local, nonlocal, offered, validation, AnalysisEngine, BackendSel, DesOptions, EngineConfig,
+};
 use sweep::{ExecMode, Grid};
 
 /// Conversation counts the paper plots (1–4; its tools could not go
@@ -45,11 +47,19 @@ pub fn fig_6_7() -> String {
                 .output(p, 1),
         )
         .expect("place exists");
-    let exact = constant
-        .reachability(100)
-        .and_then(|g| g.solve(1e-12, 100_000))
-        .map(|s| s.resource_rate("lambda").expect("resource defined"))
-        .expect("constant net solves");
+    // Tight-tolerance exact engine: both nets are tiny (≤ `delay` states).
+    let engine = AnalysisEngine::new(EngineConfig {
+        backend: BackendSel::Exact,
+        tolerance: 1e-12,
+        max_sweeps: 100_000,
+        state_budget: 1_000,
+        des: DesOptions::default(),
+    });
+    let exact = engine
+        .analyze(&constant)
+        .expect("constant net solves")
+        .resource_rate("lambda")
+        .expect("resource defined");
 
     // Geometric net with the same mean.
     let mut geo = Net::new("geometric");
@@ -60,11 +70,11 @@ pub fn fig_6_7() -> String {
         .resource("lambda")
         .build(&mut geo)
         .expect("place exists");
-    let approx = geo
-        .reachability(100)
-        .and_then(|g| g.solve(1e-12, 100_000))
-        .map(|s| s.resource_rate("lambda").expect("resource defined"))
-        .expect("geometric net solves");
+    let approx = engine
+        .analyze(&geo)
+        .expect("geometric net solves")
+        .resource_rate("lambda")
+        .expect("resource defined");
 
     format!(
         "Figure 6.7 — Modeling Large Constant Delays\n\
@@ -91,12 +101,14 @@ pub fn fig_6_15_with(mode: ExecMode, threads: usize) -> String {
         }
     }
     let grid = Grid::new(points);
-    let rows = grid.eval_with(mode, threads, |&(n, i, server_us)| {
+    let engine = models::default_engine();
+    let rows = grid.eval_in_with(engine, mode, threads, |engine, &(n, i, server_us)| {
         // Each DES replication seeds from its grid coordinates — never from
         // a shared RNG — so results are identical no matter which worker
         // runs the point or in what order.
         let seed = sweep::point_seed("fig6.15", &[u64::from(n), i as u64]);
-        let p = validation::compare(n, server_us, seed).expect("validation point solves");
+        let p =
+            validation::compare_in(engine, n, server_us, seed).expect("validation point solves");
         vec![
             n.to_string(),
             format!("{:.2}", server_us / 1_000.0),
@@ -117,15 +129,21 @@ pub fn fig_6_15_with(mode: ExecMode, threads: usize) -> String {
 
 /// One max-load or realistic-workload model solve: the slow kernel every
 /// figure grid point runs.
-fn solve_throughput(arch: Architecture, locality: Locality, n: u32, server_us: f64) -> f64 {
+fn solve_throughput(
+    engine: &AnalysisEngine,
+    arch: Architecture,
+    locality: Locality,
+    n: u32,
+    server_us: f64,
+) -> f64 {
     match locality {
         Locality::Local => {
-            local::solve(arch, n, server_us)
+            local::solve_in(engine, arch, n, server_us)
                 .expect("local model solves")
                 .throughput_per_ms
         }
         Locality::NonLocal => {
-            nonlocal::solve(arch, n, server_us)
+            nonlocal::solve_in(engine, arch, n, server_us)
                 .expect("non-local model solves")
                 .throughput_per_ms
         }
@@ -140,8 +158,9 @@ fn max_load(
     title: &str,
 ) -> String {
     let grid = sweep::cartesian(&CONVERSATIONS, archs);
-    let cells = grid.eval_with(mode, threads, |&(n, arch)| {
-        format!("{:.4}", solve_throughput(arch, locality, n, 0.0))
+    let engine = models::default_engine();
+    let cells = grid.eval_in_with(engine, mode, threads, |engine, &(n, arch)| {
+        format!("{:.4}", solve_throughput(engine, arch, locality, n, 0.0))
     });
     let rows: Vec<Vec<String>> = CONVERSATIONS
         .iter()
@@ -178,8 +197,12 @@ fn realistic(
         }
     }
     let grid = Grid::new(points);
-    let cells = grid.eval_with(mode, threads, |&(_, server_us, n, arch)| {
-        format!("{:.4}", solve_throughput(arch, locality, n, server_us))
+    let engine = models::default_engine();
+    let cells = grid.eval_in_with(engine, mode, threads, |engine, &(_, server_us, n, arch)| {
+        format!(
+            "{:.4}",
+            solve_throughput(engine, arch, locality, n, server_us)
+        )
     });
     let rows: Vec<Vec<String>> = grid
         .points()
@@ -350,8 +373,9 @@ pub fn fig_7_1_with(mode: ExecMode, threads: usize) -> String {
     let hosts_axis: [u32; 3] = [1, 2, 3];
     let conv_axis: [u32; 2] = [2, 4];
     let grid = sweep::cartesian(&hosts_axis, &conv_axis);
-    let cells = grid.eval_with(mode, threads, |&(hosts, n)| {
-        let t = local::solve_with_hosts(Architecture::MessageCoprocessor, n, x, hosts)
+    let engine = models::default_engine();
+    let cells = grid.eval_in_with(engine, mode, threads, |engine, &(hosts, n)| {
+        let t = local::solve_with_hosts_in(engine, Architecture::MessageCoprocessor, n, x, hosts)
             .expect("multi-host model solves");
         format!("{:.4}", t.throughput_per_ms)
     });
@@ -367,6 +391,48 @@ pub fn fig_7_1_with(mode: ExecMode, threads: usize) -> String {
     render_table(
         "Chapter 7 extension — One MP serving multiple hosts (Arch II, local, S=5.7ms)",
         &["Hosts", "2 conv (/ms)", "4 conv (/ms)"],
+        &rows,
+    )
+}
+
+/// Chapter 7 scale-out — past the paper's n ≤ 4 ceiling (§6.9.2 notes the
+/// GTPN tools could not go further). An `auto` engine with a deliberately
+/// small state budget solves n ≤ 4 exactly and falls back to the
+/// discrete-event backend beyond it, reporting 95% confidence half-widths
+/// for the estimated points.
+pub fn fig_7_scale() -> String {
+    let (mode, threads) = env_exec();
+    fig_7_scale_with(mode, threads)
+}
+
+/// [`fig_7_scale`] under an explicit execution mode.
+pub fn fig_7_scale_with(mode: ExecMode, threads: usize) -> String {
+    let x = 5_700.0;
+    // 10_000 states sits between n=4 (6_336 states) and n=5 (18_982) for
+    // the Arch II local net: the exact/DES switchover lands exactly at the
+    // paper's old ceiling.
+    let engine = AnalysisEngine::new(EngineConfig {
+        backend: BackendSel::Auto,
+        tolerance: models::TOLERANCE,
+        max_sweeps: models::MAX_SWEEPS,
+        state_budget: 10_000,
+        des: DesOptions::default(),
+    });
+    let grid = Grid::new(vec![2u32, 4, 6, 8]);
+    let rows = grid.eval_in_with(&engine, mode, threads, |engine, &n| {
+        let t = local::solve_in(engine, Architecture::MessageCoprocessor, n, x)
+            .expect("scale point solves");
+        vec![
+            n.to_string(),
+            format!("{:.4}", t.throughput_per_ms),
+            t.backend.to_string(),
+            t.half_width_per_ms
+                .map_or_else(|| "-".to_string(), |hw| format!("{hw:.4}")),
+        ]
+    });
+    render_table(
+        "Chapter 7 scale-out — Arch II local beyond n=4 (auto backend, S=5.7ms)",
+        &["Conv", "Throughput (/ms)", "Backend", "±95% (/ms)"],
         &rows,
     )
 }

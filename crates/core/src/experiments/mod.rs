@@ -199,6 +199,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Chapter 7 extension: one MP, multiple hosts",
             run: ch6figures::fig_7_1,
         },
+        Experiment {
+            id: "fig7.scale",
+            title: "Chapter 7 scale-out: beyond n=4 via the DES backend",
+            run: ch6figures::fig_7_scale,
+        },
     ]
 }
 
@@ -209,9 +214,11 @@ pub fn run(id: &str) -> Option<String> {
 
 /// Runs one experiment under an explicit sweep execution mode, bypassing
 /// the `HSIPC_SWEEP` / thread-count environment policy. Experiments whose
-/// grids are swept honor `mode`/`threads`; the rest are single solves and
-/// run as-is. Output is byte-identical across modes — that is the sweep
-/// engine's contract, and `tests/sweep_identity.rs` holds it to it.
+/// grids are swept honor `mode`/`threads`; the rest — the ch3 profiling
+/// tables and every other single-solve experiment — run as one-point
+/// grids on the same engine, so every experiment flows through one
+/// evaluation path. Output is byte-identical across modes — that is the
+/// sweep engine's contract, and `tests/sweep_identity.rs` holds it to it.
 pub fn run_with(id: &str, mode: sweep::ExecMode, threads: usize) -> Option<String> {
     match id {
         "table6.24" => Some(ch6tables::table_6_24_with(mode, threads)),
@@ -225,7 +232,13 @@ pub fn run_with(id: &str, mode: sweep::ExecMode, threads: usize) -> Option<Strin
         "fig6.22" => Some(ch6figures::fig_6_22_with(mode, threads)),
         "fig6.23" => Some(ch6figures::fig_6_23_with(mode, threads)),
         "fig7.1" => Some(ch6figures::fig_7_1_with(mode, threads)),
-        _ => run(id),
+        "fig7.scale" => Some(ch6figures::fig_7_scale_with(mode, threads)),
+        _ => all().into_iter().find(|e| e.id == id).map(|e| {
+            sweep::Grid::new(vec![e.run])
+                .eval_with(mode, threads, |run| run())
+                .pop()
+                .expect("one-point grid yields one result")
+        }),
     }
 }
 

@@ -14,30 +14,87 @@
 //! collisions cannot alias two different nets. Values are
 //! `Arc<ReachabilityGraph>`, shared freely across sweep worker threads.
 //!
-//! The cache is process-global and bounded: once [`MAX_ENTRIES`] graphs are
-//! resident the oldest entry is evicted (insertion order), which fits the
-//! sweep access pattern — a burst of repeats while one figure renders, then
-//! a new working set.
+//! The cache is process-global and bounded with least-recently-used
+//! eviction: every hit refreshes an entry's stamp, and inserting past
+//! capacity drops the entry whose last use is oldest — so the nets a
+//! long-running sweep keeps returning to (the §6.6.3 fixed-point iterates,
+//! the shared max-load points) stay resident while one-shot nets age out.
+//! Capacity defaults to [`MAX_ENTRIES`] and is configurable with the
+//! `HSIPC_CACHE_CAP` environment variable (read once per process; `0`
+//! disables caching entirely). The engine-level solution cache
+//! ([`crate::engine`]) shares the same capacity knob and reports the same
+//! counter set ([`CacheStats`]).
 
 use crate::error::GtpnError;
 use crate::expr::Expr;
 use crate::net::Net;
 use crate::reach::ReachabilityGraph;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Maximum number of cached graphs before insertion-order eviction.
+/// Default capacity (entries) when `HSIPC_CACHE_CAP` is unset.
 pub const MAX_ENTRIES: usize = 256;
+
+/// Configured capacity of the global caches: `HSIPC_CACHE_CAP` parsed once
+/// per process, defaulting to [`MAX_ENTRIES`]. A capacity of `0` disables
+/// caching (every lookup misses and nothing is retained).
+pub fn capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("HSIPC_CACHE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(MAX_ENTRIES)
+    })
+}
+
+struct Entry {
+    net: Net,
+    graph: Arc<ReachabilityGraph>,
+    /// Stamp of the most recent hit (or the insertion), for LRU eviction.
+    last_used: u64,
+}
 
 struct CacheInner {
     /// fingerprint -> entries with that fingerprint (collision chain).
-    map: HashMap<u64, Vec<(Net, Arc<ReachabilityGraph>)>>,
-    /// Insertion order for eviction.
-    order: VecDeque<(u64, usize)>,
+    map: HashMap<u64, Vec<Entry>>,
+    /// Total entries across all chains.
+    count: usize,
+    /// Monotonic use counter backing the LRU stamps.
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl CacheInner {
+    /// Drops the least-recently-used entry. No-op on an empty cache.
+    fn evict_lru(&mut self) {
+        let victim = self
+            .map
+            .iter()
+            .flat_map(|(&fp, chain)| {
+                chain
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, e)| (e.last_used, fp, i))
+            })
+            .min();
+        if let Some((_, fp, i)) = victim {
+            let empty = {
+                let chain = self.map.get_mut(&fp).expect("victim chain exists");
+                chain.remove(i);
+                chain.is_empty()
+            };
+            if empty {
+                self.map.remove(&fp);
+            }
+            self.count -= 1;
+            self.evictions += 1;
+        }
+    }
 }
 
 fn cache() -> &'static Mutex<CacheInner> {
@@ -45,21 +102,27 @@ fn cache() -> &'static Mutex<CacheInner> {
     CACHE.get_or_init(|| {
         Mutex::new(CacheInner {
             map: HashMap::new(),
-            order: VecDeque::new(),
+            count: 0,
+            tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         })
     })
 }
 
-/// Hit/miss counters of the global cache.
+/// Hit/miss/eviction counters of a bounded cache. Shared by the
+/// reachability cache ([`stats`]) and the engine solution cache
+/// ([`crate::engine::cache_stats`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that had to expand the graph.
+    /// Lookups that had to do the work.
     pub misses: u64,
-    /// Graphs currently resident.
+    /// Entries dropped to make room (least recently used first).
+    pub evictions: u64,
+    /// Entries currently resident.
     pub entries: usize,
 }
 
@@ -69,7 +132,8 @@ pub fn stats() -> CacheStats {
     CacheStats {
         hits: c.hits,
         misses: c.misses,
-        entries: c.order.len(),
+        evictions: c.evictions,
+        entries: c.count,
     }
 }
 
@@ -77,9 +141,11 @@ pub fn stats() -> CacheStats {
 pub fn clear() {
     let mut c = cache().lock().expect("reachability cache poisoned");
     c.map.clear();
-    c.order.clear();
+    c.count = 0;
+    c.tick = 0;
     c.hits = 0;
     c.misses = 0;
+    c.evictions = 0;
 }
 
 /// As [`Net::reachability`], memoized on the net's structure.
@@ -93,15 +159,25 @@ pub fn clear() {
 ///
 /// Exactly those of [`Net::reachability`].
 pub fn reachability(net: &Net, max_states: usize) -> Result<Arc<ReachabilityGraph>, GtpnError> {
+    let cap = capacity();
+    if cap == 0 {
+        let mut c = cache().lock().expect("reachability cache poisoned");
+        c.misses += 1;
+        drop(c);
+        return Ok(Arc::new(net.reachability(max_states)?));
+    }
     let fp = fingerprint(net);
     {
         let mut c = cache().lock().expect("reachability cache poisoned");
-        if let Some(entries) = c.map.get(&fp) {
-            if let Some(graph) = entries
-                .iter()
-                .find(|(n, g)| g.state_count() <= max_states && n == net)
-                .map(|(_, g)| Arc::clone(g))
+        let stamp = c.tick;
+        if let Some(chain) = c.map.get_mut(&fp) {
+            if let Some(entry) = chain
+                .iter_mut()
+                .find(|e| e.graph.state_count() <= max_states && e.net == *net)
             {
+                entry.last_used = stamp;
+                let graph = Arc::clone(&entry.graph);
+                c.tick += 1;
                 c.hits += 1;
                 return Ok(graph);
             }
@@ -111,27 +187,21 @@ pub fn reachability(net: &Net, max_states: usize) -> Result<Arc<ReachabilityGrap
 
     // Expand outside the lock: big nets take a while and other workers may
     // be solving different points meanwhile. Two threads racing on the same
-    // net both expand; the second insert is a harmless duplicate that the
-    // eviction queue ages out.
+    // net both expand; the second insert is a harmless duplicate that
+    // eviction ages out.
     let graph = Arc::new(net.reachability(max_states)?);
     let mut c = cache().lock().expect("reachability cache poisoned");
-    while c.order.len() >= MAX_ENTRIES {
-        if let Some((old_fp, _)) = c.order.pop_front() {
-            // Drop the oldest entry for this fingerprint.
-            if let Some(entries) = c.map.get_mut(&old_fp) {
-                if !entries.is_empty() {
-                    entries.remove(0);
-                }
-                if entries.is_empty() {
-                    c.map.remove(&old_fp);
-                }
-            }
-        }
+    while c.count >= cap {
+        c.evict_lru();
     }
-    let entries = c.map.entry(fp).or_default();
-    entries.push((net.clone(), Arc::clone(&graph)));
-    let idx = entries.len() - 1;
-    c.order.push_back((fp, idx));
+    let stamp = c.tick;
+    c.tick += 1;
+    c.map.entry(fp).or_default().push(Entry {
+        net: net.clone(),
+        graph: Arc::clone(&graph),
+        last_used: stamp,
+    });
+    c.count += 1;
     Ok(graph)
 }
 
@@ -156,8 +226,9 @@ pub fn fingerprint(net: &Net) -> u64 {
 }
 
 /// Hashes an expression tree; floats hash by bit pattern so distinct
-/// timings produce distinct fingerprints.
-fn hash_expr(e: &Expr, h: &mut DefaultHasher) {
+/// timings produce distinct fingerprints. Shared with the canonical-net
+/// fingerprint ([`crate::canonical`]).
+pub(crate) fn hash_expr(e: &Expr, h: &mut DefaultHasher) {
     match e {
         Expr::Const(v) => {
             0u8.hash(h);
@@ -203,6 +274,7 @@ fn hash_pair(tag: u8, a: &Expr, b: &Expr, h: &mut DefaultHasher) {
 mod tests {
     use super::*;
     use crate::net::Transition;
+    use crate::test_serial as isolate;
 
     fn ring(freq: f64) -> Net {
         let mut net = Net::new("ring");
@@ -231,16 +303,19 @@ mod tests {
 
     #[test]
     fn identical_nets_share_one_graph() {
+        let _gate = isolate();
         clear();
         let a = reachability(&ring(0.25), 100).unwrap();
         let b = reachability(&ring(0.25), 100).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second lookup must be a cache hit");
         let s = stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.evictions, 0);
     }
 
     #[test]
     fn different_timings_are_distinct_entries() {
+        let _gate = isolate();
         clear();
         let a = reachability(&ring(0.25), 100).unwrap();
         let b = reachability(&ring(0.125), 100).unwrap();
@@ -255,6 +330,7 @@ mod tests {
 
     #[test]
     fn budget_still_enforced_on_hit_path() {
+        let _gate = isolate();
         clear();
         let net = ring(0.5);
         let g = reachability(&net, 100).unwrap();
@@ -266,6 +342,7 @@ mod tests {
 
     #[test]
     fn cached_solution_matches_fresh_solution() {
+        let _gate = isolate();
         clear();
         let net = ring(0.1);
         let fresh = net
@@ -282,5 +359,33 @@ mod tests {
             cached.state_probabilities(),
             "cache must not change results"
         );
+    }
+
+    #[test]
+    fn recently_used_entries_survive_eviction() {
+        let _gate = isolate();
+        clear();
+        let cap = capacity();
+        assert!(cap >= 2, "test requires a real cache");
+        // Distinct frequencies i/10007 never collide with the other tests'
+        // 0.25 / 0.125 / 0.5 / 0.1 rings.
+        let freq = |i: usize| (i + 1) as f64 / 10007.0;
+        // Fill to capacity.
+        for i in 0..cap {
+            reachability(&ring(freq(i)), 100).unwrap();
+        }
+        assert_eq!(stats().entries, cap);
+        // Touch entry 0 so entry 1 becomes the least recently used…
+        let kept = reachability(&ring(freq(0)), 100).unwrap();
+        // …then overflow by one: entry 1 must be the victim.
+        reachability(&ring(freq(cap)), 100).unwrap();
+        let s = stats();
+        assert_eq!(s.entries, cap);
+        assert_eq!(s.evictions, 1);
+        let again = reachability(&ring(freq(0)), 100).unwrap();
+        assert!(Arc::ptr_eq(&kept, &again), "refreshed entry was evicted");
+        let before = stats().misses;
+        reachability(&ring(freq(1)), 100).unwrap();
+        assert_eq!(stats().misses, before + 1, "LRU victim should re-expand");
     }
 }

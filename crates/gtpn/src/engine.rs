@@ -1,0 +1,951 @@
+//! The analysis engine: the one road from a [`Net`] to steady-state numbers.
+//!
+//! Every model, experiment, sweep point, cross-validation run and bench in
+//! this repository obtains its throughput/usage figures through
+//! [`AnalysisEngine::analyze`]. The engine owns three concerns the callers
+//! used to hand-roll separately:
+//!
+//! * **Backend selection.** A [`Backend`] turns a net into an
+//!   [`AnalysisData`]; two are provided. [`ExactMarkov`] is the paper's
+//!   reference pipeline — reachability expansion (memoized by
+//!   [`crate::cache`]) followed by the Gauss–Seidel steady-state solve,
+//!   with a per-thread [`SolveWorkspace`] kept warm across points.
+//!   [`DesEstimate`] replaces the exact solve by batched Monte-Carlo runs
+//!   of [`crate::sim`] and reports batch-means estimates with 95%
+//!   confidence half-widths — usable when the reachability graph is too
+//!   large to enumerate. [`BackendSel::Auto`] (the `HSIPC_BACKEND=auto`
+//!   default) tries the exact path and falls back to DES exactly when the
+//!   state budget is exceeded, which opens the `n > 4` conversation axis
+//!   the exact solver cannot reach.
+//!
+//! * **Canonical solution caching.** Results are cached process-globally,
+//!   keyed by `(canonical net fingerprint, backend, solver parameters)`
+//!   where the fingerprint comes from [`crate::canonical`] — so two call
+//!   sites that build the *same model in different orders* share one
+//!   solve. A hit under a permuted build order transparently remaps
+//!   [`PlaceId`]/[`TransId`] queries through the composed permutation. Hits
+//!   are verified by full structural equality of the canonical forms, so
+//!   fingerprint collisions cannot alias distinct nets. The cache is LRU
+//!   with the same capacity knob as the reachability cache
+//!   (`HSIPC_CACHE_CAP`, default [`crate::cache::MAX_ENTRIES`], `0`
+//!   disables) and reports the same counter set via [`cache_stats`].
+//!
+//! * **Determinism.** The exact backend is bitwise identical to calling
+//!   `net.reachability(budget)?.solve(tol, sweeps)` directly — a cache
+//!   miss always solves the *caller's* net, never the canonical reordering
+//!   (summation order changes the last ulp). DES replication seeds derive
+//!   from the canonical fingerprint, so estimates are identical run-to-run
+//!   and across build orders, no matter which sweep worker executes them.
+
+use crate::canonical::{self, Canonical};
+use crate::error::GtpnError;
+use crate::net::{Net, PlaceId, TransId};
+use crate::reach::ReachabilityGraph;
+use crate::sim::{self, ConfidenceInterval, SimOptions};
+use crate::solve::{Solution, SolveWorkspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Which backend produced (or should produce) an analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Exact embedded-Markov-chain solution (reachability + Gauss–Seidel).
+    Exact,
+    /// Batched discrete-event simulation estimate with confidence intervals.
+    Des,
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendKind::Exact => write!(f, "exact"),
+            BackendKind::Des => write!(f, "des"),
+        }
+    }
+}
+
+/// Backend selection policy for an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendSel {
+    /// Always solve exactly; a too-large state space is an error.
+    Exact,
+    /// Always estimate by simulation.
+    Des,
+    /// Solve exactly when the state space fits the budget, otherwise
+    /// estimate by simulation — the default.
+    Auto,
+}
+
+impl BackendSel {
+    /// Policy selected by `HSIPC_BACKEND` (`exact`, `des` or `auto`,
+    /// case-insensitive); unset or unrecognized values mean [`Auto`].
+    ///
+    /// [`Auto`]: BackendSel::Auto
+    pub fn from_env() -> BackendSel {
+        match std::env::var("HSIPC_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("exact") => BackendSel::Exact,
+            Ok(v) if v.eq_ignore_ascii_case("des") => BackendSel::Des,
+            _ => BackendSel::Auto,
+        }
+    }
+}
+
+/// Options for the DES backend's batched replications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesOptions {
+    /// Simulated horizon per replication (net time units).
+    pub horizon: u64,
+    /// Warm-up discarded per replication.
+    pub warmup: u64,
+    /// Number of independent replications (>= 2 for a variance).
+    pub batches: usize,
+}
+
+impl Default for DesOptions {
+    fn default() -> Self {
+        DesOptions {
+            horizon: 400_000,
+            warmup: 40_000,
+            batches: 4,
+        }
+    }
+}
+
+/// Full configuration of an [`AnalysisEngine`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Backend selection policy.
+    pub backend: BackendSel,
+    /// Gauss–Seidel convergence tolerance (exact backend).
+    pub tolerance: f64,
+    /// Gauss–Seidel sweep limit (exact backend).
+    pub max_sweeps: usize,
+    /// Reachability state budget; `Auto` falls back to DES beyond it.
+    pub state_budget: usize,
+    /// DES replication options.
+    pub des: DesOptions,
+}
+
+impl Default for EngineConfig {
+    /// The models' production parameters: tolerance `1e-11`, 400 000-sweep
+    /// limit, two-million-state budget, [`DesOptions::default`] and
+    /// [`BackendSel::Auto`].
+    fn default() -> Self {
+        EngineConfig {
+            backend: BackendSel::Auto,
+            tolerance: 1e-11,
+            max_sweeps: 400_000,
+            state_budget: 2_000_000,
+            des: DesOptions::default(),
+        }
+    }
+}
+
+/// The raw product of one backend run, in the analyzed net's id space.
+///
+/// Construction is internal to the crate: the two built-in backends fill
+/// it, [`Analysis`] reads it. Exact runs carry the reachability graph and
+/// [`Solution`] and answer queries through them; DES runs carry averaged
+/// per-resource/per-place/per-transition vectors plus half-widths.
+#[derive(Debug)]
+pub struct AnalysisData {
+    backend: BackendKind,
+    /// Tangible-state count (0 for DES — nothing was enumerated).
+    states: usize,
+    /// DES: resource -> mean of batch means.
+    resource_usage: HashMap<String, f64>,
+    /// DES: resource -> 95% half-width over batch means.
+    resource_half_width: HashMap<String, f64>,
+    /// DES: resource -> minimum delay among its transitions (for rates).
+    resource_delay: HashMap<String, u64>,
+    /// DES: per-place time-averaged tokens.
+    mean_tokens: Vec<f64>,
+    /// DES: per-transition time-averaged in-progress firings.
+    transition_usage: Vec<f64>,
+    /// Exact: the graph and solution all queries delegate to.
+    exact: Option<(Arc<ReachabilityGraph>, Solution)>,
+}
+
+/// The result of [`AnalysisEngine::analyze`]: backend-agnostic access to
+/// steady-state measures, cheap to clone and share across sweep workers.
+///
+/// Ids passed to [`mean_tokens`](Analysis::mean_tokens) /
+/// [`transition_usage`](Analysis::transition_usage) are interpreted in the
+/// id space of the net the caller passed to `analyze` — when the result
+/// was served from cache under a different build order, the stored
+/// permutation is applied transparently.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    data: Arc<AnalysisData>,
+    /// `orig place id -> stored id`; `None` = identity.
+    place_map: Option<Arc<Vec<usize>>>,
+    /// `orig transition id -> stored id`; `None` = identity.
+    trans_map: Option<Arc<Vec<usize>>>,
+}
+
+impl Analysis {
+    fn identity(data: Arc<AnalysisData>) -> Analysis {
+        Analysis {
+            data,
+            place_map: None,
+            trans_map: None,
+        }
+    }
+
+    fn map_place(&self, p: PlaceId) -> PlaceId {
+        match &self.place_map {
+            Some(m) => PlaceId(m.get(p.0).copied().unwrap_or(p.0)),
+            None => p,
+        }
+    }
+
+    fn map_trans(&self, t: TransId) -> TransId {
+        match &self.trans_map {
+            Some(m) => TransId(m.get(t.0).copied().unwrap_or(t.0)),
+            None => t,
+        }
+    }
+
+    /// Which backend produced this analysis.
+    pub fn backend(&self) -> BackendKind {
+        self.data.backend
+    }
+
+    /// Tangible states enumerated (0 when the DES backend ran).
+    pub fn states(&self) -> usize {
+        self.data.states
+    }
+
+    /// Usage (time-weighted mean in-progress count) of a resource label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GtpnError::UnknownName`] for an unknown resource.
+    pub fn resource_usage(&self, resource: &str) -> Result<f64, GtpnError> {
+        match &self.data.exact {
+            Some((_, sol)) => sol.resource_usage(resource),
+            None => self
+                .data
+                .resource_usage
+                .get(resource)
+                .copied()
+                .ok_or_else(|| GtpnError::UnknownName(resource.to_string())),
+        }
+    }
+
+    /// Completion rate of a resource: `usage / delay` of its transitions
+    /// (usage itself for zero-delay resources), as
+    /// [`Solution::resource_rate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GtpnError::UnknownName`] for an unknown resource.
+    pub fn resource_rate(&self, resource: &str) -> Result<f64, GtpnError> {
+        match &self.data.exact {
+            Some((_, sol)) => sol.resource_rate(resource),
+            None => {
+                let usage = self.resource_usage(resource)?;
+                let delay = *self
+                    .data
+                    .resource_delay
+                    .get(resource)
+                    .ok_or_else(|| GtpnError::UnknownName(resource.to_string()))?;
+                Ok(if delay == 0 {
+                    usage
+                } else {
+                    usage / delay as f64
+                })
+            }
+        }
+    }
+
+    /// 95% confidence interval on a resource's usage. `Some` only for DES
+    /// analyses — the exact backend's numbers carry no sampling error.
+    pub fn resource_interval(&self, resource: &str) -> Option<ConfidenceInterval> {
+        if self.data.backend != BackendKind::Des {
+            return None;
+        }
+        Some(ConfidenceInterval {
+            estimate: self.data.resource_usage.get(resource).copied()?,
+            half_width: self.data.resource_half_width.get(resource).copied()?,
+        })
+    }
+
+    /// Time-averaged token count of a place (tokens in transit inside
+    /// in-progress firings not counted, on either backend).
+    pub fn mean_tokens(&self, place: PlaceId) -> f64 {
+        let p = self.map_place(place);
+        match &self.data.exact {
+            Some((graph, sol)) => graph.mean_tokens(sol, p),
+            None => self.data.mean_tokens.get(p.0).copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Usage of an individual transition.
+    pub fn transition_usage(&self, transition: TransId) -> f64 {
+        let t = self.map_trans(transition);
+        match &self.data.exact {
+            Some((_, sol)) => sol.transition_usage(t),
+            None => self.data.transition_usage.get(t.0).copied().unwrap_or(0.0),
+        }
+    }
+
+    /// Gauss–Seidel sweeps performed (exact backend only).
+    pub fn iterations(&self) -> Option<usize> {
+        self.data.exact.as_ref().map(|(_, s)| s.iterations())
+    }
+
+    /// Final solver residual (exact backend only).
+    pub fn residual(&self) -> Option<f64> {
+        self.data.exact.as_ref().map(|(_, s)| s.residual())
+    }
+
+    /// The underlying reachability graph — `Some` only for an exact
+    /// analysis whose state indices are in the caller's own id space
+    /// (i.e. not a cache hit served under a permuted build order).
+    pub fn graph(&self) -> Option<&Arc<ReachabilityGraph>> {
+        match (&self.data.exact, &self.place_map, &self.trans_map) {
+            (Some((g, _)), None, None) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+/// A strategy for turning a net into steady-state numbers.
+///
+/// The two implementations are [`ExactMarkov`] and [`DesEstimate`];
+/// [`AnalysisData`] construction is crate-internal, so external backends
+/// are not yet pluggable from outside `gtpn` — the trait is the seam
+/// future ones (truncated state spaces, red-black solvers) slot into.
+pub trait Backend: Sync {
+    /// The kind tag this backend caches its results under.
+    fn kind(&self) -> BackendKind;
+    /// Analyzes `net` under `cfg`, in `net`'s own id space.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific; see [`Net::reachability`],
+    /// [`ReachabilityGraph::solve`] and [`sim::simulate`].
+    fn run(&self, net: &Net, cfg: &EngineConfig) -> Result<AnalysisData, GtpnError>;
+}
+
+/// The exact pipeline: memoized reachability expansion + Gauss–Seidel,
+/// with a warm per-thread [`SolveWorkspace`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactMarkov;
+
+impl Backend for ExactMarkov {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Exact
+    }
+
+    fn run(&self, net: &Net, cfg: &EngineConfig) -> Result<AnalysisData, GtpnError> {
+        thread_local! {
+            static WORKSPACE: RefCell<SolveWorkspace> = RefCell::new(SolveWorkspace::new());
+        }
+        let graph = crate::cache::reachability(net, cfg.state_budget)?;
+        let solution = WORKSPACE
+            .with(|ws| graph.solve_with(cfg.tolerance, cfg.max_sweeps, &mut ws.borrow_mut()))?;
+        Ok(AnalysisData {
+            backend: BackendKind::Exact,
+            states: graph.state_count(),
+            resource_usage: HashMap::new(),
+            resource_half_width: HashMap::new(),
+            resource_delay: HashMap::new(),
+            mean_tokens: Vec::new(),
+            transition_usage: Vec::new(),
+            exact: Some((graph, solution)),
+        })
+    }
+}
+
+/// The simulation backend: `batches` independent replications of
+/// [`sim::simulate`], combined into batch-means estimates with 95%
+/// half-widths. Replication seeds derive from the canonical net
+/// fingerprint, so the estimate is a pure function of the model — stable
+/// across runs, build orders and sweep-worker schedules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DesEstimate;
+
+impl Backend for DesEstimate {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Des
+    }
+
+    fn run(&self, net: &Net, cfg: &EngineConfig) -> Result<AnalysisData, GtpnError> {
+        net.validate()?;
+        let batches = cfg.des.batches.max(2);
+        let opts = SimOptions {
+            horizon: cfg.des.horizon,
+            warmup: cfg.des.warmup,
+        };
+        // Simulate the *canonical* net: the sampled trajectory depends on
+        // transition iteration order, so running the caller's ordering
+        // would make the estimate depend on build order even with
+        // identical seeds. Per-id vectors are mapped back afterwards.
+        let canon = canonical::canonicalize(net);
+        let fp = canonical::fingerprint_canonical(&canon.net);
+        let resources: Vec<String> = net.resources().iter().map(|r| r.to_string()).collect();
+        let mut batch_usage: Vec<Vec<f64>> = vec![Vec::with_capacity(batches); resources.len()];
+        let mut canon_tokens = vec![0.0f64; net.place_count()];
+        let mut canon_usage = vec![0.0f64; net.transition_count()];
+        for b in 0..batches {
+            let seed = splitmix64(fp ^ splitmix64(b as u64 + 1));
+            let mut rng = StdRng::seed_from_u64(seed);
+            let result = sim::simulate(&canon.net, &opts, &mut rng)?;
+            for (ri, name) in resources.iter().enumerate() {
+                batch_usage[ri].push(result.resource_usage(name)?);
+            }
+            for (acc, v) in canon_tokens.iter_mut().zip(&result.mean_tokens) {
+                *acc += v;
+            }
+            for (acc, v) in canon_usage.iter_mut().zip(&result.transition_usage) {
+                *acc += v;
+            }
+        }
+        let n = batches as f64;
+        let mean_tokens: Vec<f64> = canon
+            .place_map
+            .iter()
+            .map(|&c| canon_tokens[c] / n)
+            .collect();
+        let transition_usage: Vec<f64> = canon
+            .trans_map
+            .iter()
+            .map(|&c| canon_usage[c] / n)
+            .collect();
+        let mut resource_usage = HashMap::new();
+        let mut resource_half_width = HashMap::new();
+        for (name, means) in resources.iter().zip(&batch_usage) {
+            let mean = means.iter().sum::<f64>() / n;
+            let var = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / (n - 1.0);
+            // Same mildly conservative small-batch constant as
+            // `sim::confidence_interval`.
+            resource_usage.insert(name.clone(), mean);
+            resource_half_width.insert(name.clone(), 2.1 * (var / n).sqrt());
+        }
+        let mut resource_delay = HashMap::new();
+        for t in &net.transitions {
+            if let Some(r) = &t.resource {
+                let d = resource_delay.entry(r.clone()).or_insert(t.delay);
+                *d = (*d).min(t.delay);
+            }
+        }
+        Ok(AnalysisData {
+            backend: BackendKind::Des,
+            states: 0,
+            resource_usage,
+            resource_half_width,
+            resource_delay,
+            mean_tokens,
+            transition_usage,
+            exact: None,
+        })
+    }
+}
+
+/// SplitMix64 scramble — the seed spacing for DES replications.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// The process-global solution cache.
+// ---------------------------------------------------------------------------
+
+/// Cache key: canonical fingerprint, backend kind, solver-parameter hash.
+type CacheKey = (u64, BackendKind, u64);
+
+struct CacheEntry {
+    /// Canonical form, for equality verification of candidate hits.
+    canonical: Net,
+    /// `canonical place id -> stored (analyzed net's) place id`.
+    place_from_canon: Vec<usize>,
+    /// `canonical transition id -> stored transition id`.
+    trans_from_canon: Vec<usize>,
+    data: Arc<AnalysisData>,
+    last_used: u64,
+}
+
+struct EngineCache {
+    map: HashMap<CacheKey, Vec<CacheEntry>>,
+    count: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl EngineCache {
+    fn evict_lru(&mut self) {
+        let victim = self
+            .map
+            .iter()
+            .flat_map(|(key, chain)| {
+                chain
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, e)| (e.last_used, *key, i))
+            })
+            .min_by_key(|&(stamp, _, _)| stamp);
+        if let Some((_, key, i)) = victim {
+            let empty = {
+                let chain = self.map.get_mut(&key).expect("victim chain exists");
+                chain.remove(i);
+                chain.is_empty()
+            };
+            if empty {
+                self.map.remove(&key);
+            }
+            self.count -= 1;
+            self.evictions += 1;
+        }
+    }
+}
+
+fn engine_cache() -> &'static Mutex<EngineCache> {
+    static CACHE: OnceLock<Mutex<EngineCache>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        Mutex::new(EngineCache {
+            map: HashMap::new(),
+            count: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        })
+    })
+}
+
+/// Current statistics of the global engine solution cache — the same
+/// counter set as [`crate::cache::stats`].
+pub fn cache_stats() -> crate::cache::CacheStats {
+    let c = engine_cache().lock().expect("engine cache poisoned");
+    crate::cache::CacheStats {
+        hits: c.hits,
+        misses: c.misses,
+        evictions: c.evictions,
+        entries: c.count,
+    }
+}
+
+/// Empties the global engine cache (counters included) — test isolation.
+pub fn clear_cache() {
+    let mut c = engine_cache().lock().expect("engine cache poisoned");
+    c.map.clear();
+    c.count = 0;
+    c.tick = 0;
+    c.hits = 0;
+    c.misses = 0;
+    c.evictions = 0;
+}
+
+fn count_miss() {
+    engine_cache().lock().expect("engine cache poisoned").misses += 1;
+}
+
+// ---------------------------------------------------------------------------
+// The engine.
+// ---------------------------------------------------------------------------
+
+/// The pluggable analysis engine; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisEngine {
+    cfg: EngineConfig,
+}
+
+impl AnalysisEngine {
+    /// An engine with an explicit configuration.
+    pub fn new(cfg: EngineConfig) -> AnalysisEngine {
+        AnalysisEngine { cfg }
+    }
+
+    /// The default configuration with the backend policy taken from
+    /// `HSIPC_BACKEND` ([`BackendSel::from_env`]).
+    pub fn from_env() -> AnalysisEngine {
+        AnalysisEngine::new(EngineConfig {
+            backend: BackendSel::from_env(),
+            ..EngineConfig::default()
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Hash of the parameters that determine a backend's result, beyond
+    /// the net itself — part of the cache key so engines with different
+    /// settings never alias. The DES hash includes the state budget so an
+    /// `Auto` fallback result is only reused by engines that would have
+    /// fallen back at the same point.
+    fn params_hash(&self, kind: BackendKind) -> u64 {
+        let mut h = DefaultHasher::new();
+        match kind {
+            BackendKind::Exact => {
+                self.cfg.tolerance.to_bits().hash(&mut h);
+                self.cfg.max_sweeps.hash(&mut h);
+            }
+            BackendKind::Des => {
+                self.cfg.des.horizon.hash(&mut h);
+                self.cfg.des.warmup.hash(&mut h);
+                self.cfg.des.batches.hash(&mut h);
+                self.cfg.state_budget.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
+    /// Looks for a verified cache hit, composing the id permutation when
+    /// the stored analysis came from a different build order.
+    fn probe(&self, kind: BackendKind, canon: &Canonical, fp: u64) -> Option<Analysis> {
+        let key = (fp, kind, self.params_hash(kind));
+        let mut c = engine_cache().lock().expect("engine cache poisoned");
+        let stamp = c.tick;
+        let budget = self.cfg.state_budget;
+        let chain = c.map.get_mut(&key)?;
+        let entry = chain.iter_mut().find(|e| {
+            (kind != BackendKind::Exact || e.data.states <= budget) && e.canonical == canon.net
+        })?;
+        entry.last_used = stamp;
+        let place_map = compose(&canon.place_map, &entry.place_from_canon);
+        let trans_map = compose(&canon.trans_map, &entry.trans_from_canon);
+        let analysis = Analysis {
+            data: Arc::clone(&entry.data),
+            place_map: place_map.map(Arc::new),
+            trans_map: trans_map.map(Arc::new),
+        };
+        c.tick += 1;
+        c.hits += 1;
+        Some(analysis)
+    }
+
+    /// Inserts a freshly computed analysis, evicting LRU entries past the
+    /// configured capacity.
+    fn insert(&self, kind: BackendKind, canon: &Canonical, fp: u64, data: &Arc<AnalysisData>) {
+        let cap = crate::cache::capacity();
+        let key = (fp, kind, self.params_hash(kind));
+        let mut c = engine_cache().lock().expect("engine cache poisoned");
+        while c.count >= cap {
+            c.evict_lru();
+        }
+        let stamp = c.tick;
+        c.tick += 1;
+        c.map.entry(key).or_default().push(CacheEntry {
+            canonical: canon.net.clone(),
+            place_from_canon: invert(&canon.place_map),
+            trans_from_canon: invert(&canon.trans_map),
+            data: Arc::clone(data),
+            last_used: stamp,
+        });
+        c.count += 1;
+    }
+
+    /// Runs `backend` on the original net (cache-bypassing core; the miss
+    /// is counted by the caller).
+    fn run_fresh(&self, backend: &dyn Backend, net: &Net) -> Result<Arc<AnalysisData>, GtpnError> {
+        backend.run(net, &self.cfg).map(Arc::new)
+    }
+
+    /// Analyzes `net` under the engine's policy; see the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Those of the selected backend. Under [`BackendSel::Auto`],
+    /// [`GtpnError::StateSpaceExceeded`] from the exact path triggers the
+    /// DES fallback instead of being returned.
+    pub fn analyze(&self, net: &Net) -> Result<Analysis, GtpnError> {
+        if crate::cache::capacity() == 0 {
+            count_miss();
+            return match self.cfg.backend {
+                BackendSel::Exact => self.run_fresh(&ExactMarkov, net).map(Analysis::identity),
+                BackendSel::Des => self.run_fresh(&DesEstimate, net).map(Analysis::identity),
+                BackendSel::Auto => match self.run_fresh(&ExactMarkov, net) {
+                    Err(GtpnError::StateSpaceExceeded { .. }) => {
+                        count_miss();
+                        self.run_fresh(&DesEstimate, net).map(Analysis::identity)
+                    }
+                    other => other.map(Analysis::identity),
+                },
+            };
+        }
+
+        let canon = canonical::canonicalize(net);
+        let fp = canonical::fingerprint_canonical(&canon.net);
+        let solve_cached = |backend: &dyn Backend| -> Result<Analysis, GtpnError> {
+            count_miss();
+            let data = self.run_fresh(backend, net)?;
+            self.insert(backend.kind(), &canon, fp, &data);
+            Ok(Analysis::identity(data))
+        };
+        match self.cfg.backend {
+            BackendSel::Exact => match self.probe(BackendKind::Exact, &canon, fp) {
+                Some(hit) => Ok(hit),
+                None => solve_cached(&ExactMarkov),
+            },
+            BackendSel::Des => match self.probe(BackendKind::Des, &canon, fp) {
+                Some(hit) => Ok(hit),
+                None => solve_cached(&DesEstimate),
+            },
+            BackendSel::Auto => {
+                if let Some(hit) = self.probe(BackendKind::Exact, &canon, fp) {
+                    return Ok(hit);
+                }
+                if let Some(hit) = self.probe(BackendKind::Des, &canon, fp) {
+                    return Ok(hit);
+                }
+                match solve_cached(&ExactMarkov) {
+                    Err(GtpnError::StateSpaceExceeded { .. }) => solve_cached(&DesEstimate),
+                    other => other,
+                }
+            }
+        }
+    }
+}
+
+/// `orig -> canon` composed with `canon -> stored`; `None` when the
+/// composition is the identity (the common same-build-order case).
+fn compose(to_canon: &[usize], from_canon: &[usize]) -> Option<Vec<usize>> {
+    let composed: Vec<usize> = to_canon.iter().map(|&c| from_canon[c]).collect();
+    if composed.iter().enumerate().all(|(i, &v)| i == v) {
+        None
+    } else {
+        Some(composed)
+    }
+}
+
+/// Inverts a permutation given as `orig -> canon`.
+fn invert(map: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; map.len()];
+    for (orig, &canon) in map.iter().enumerate() {
+        inv[canon] = orig;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::net::Transition;
+
+    /// Geometric stage ring with mean `m`; exact usage of "lambda" = 1/m.
+    fn geo(m: f64) -> Net {
+        let mut net = Net::new("geo");
+        let p = net.add_place("P", 1);
+        let q = net.add_place("Q", 0);
+        net.add_transition(
+            Transition::new("exit")
+                .delay(1)
+                .frequency(Expr::constant(1.0 / m))
+                .resource("lambda")
+                .input(p, 1)
+                .output(q, 1),
+        )
+        .unwrap();
+        net.add_transition(
+            Transition::new("loop")
+                .delay(1)
+                .frequency(Expr::constant(1.0 - 1.0 / m))
+                .input(p, 1)
+                .output(p, 1),
+        )
+        .unwrap();
+        net.add_transition(Transition::new("recycle").delay(0).input(q, 1).output(p, 1))
+            .unwrap();
+        net
+    }
+
+    /// The same net as `geo`, places and transitions added in reverse.
+    fn geo_reversed(m: f64) -> Net {
+        let mut net = Net::new("geo");
+        let q = net.add_place("Q", 0);
+        let p = net.add_place("P", 1);
+        net.add_transition(Transition::new("recycle").delay(0).input(q, 1).output(p, 1))
+            .unwrap();
+        net.add_transition(
+            Transition::new("loop")
+                .delay(1)
+                .frequency(Expr::constant(1.0 - 1.0 / m))
+                .input(p, 1)
+                .output(p, 1),
+        )
+        .unwrap();
+        net.add_transition(
+            Transition::new("exit")
+                .delay(1)
+                .frequency(Expr::constant(1.0 / m))
+                .resource("lambda")
+                .input(p, 1)
+                .output(q, 1),
+        )
+        .unwrap();
+        net
+    }
+
+    fn exact_engine() -> AnalysisEngine {
+        AnalysisEngine::new(EngineConfig {
+            backend: BackendSel::Exact,
+            tolerance: 1e-12,
+            max_sweeps: 100_000,
+            state_budget: 1_000,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn exact_backend_is_bitwise_identical_to_direct_solve() {
+        let _gate = crate::test_serial();
+        clear_cache();
+        let net = geo(10.0);
+        let direct = net
+            .reachability(1_000)
+            .unwrap()
+            .solve(1e-12, 100_000)
+            .unwrap()
+            .resource_usage("lambda")
+            .unwrap();
+        let a = exact_engine().analyze(&net).unwrap();
+        assert_eq!(a.backend(), BackendKind::Exact);
+        assert_eq!(
+            a.resource_usage("lambda").unwrap().to_bits(),
+            direct.to_bits()
+        );
+        assert!(a.iterations().unwrap() > 0);
+        assert!(a.residual().unwrap() < 1e-12);
+        assert!(a.graph().is_some());
+        assert!(a.resource_interval("lambda").is_none());
+    }
+
+    #[test]
+    fn permuted_build_order_hits_the_cache() {
+        let _gate = crate::test_serial();
+        clear_cache();
+        let engine = exact_engine();
+        let first = engine.analyze(&geo(7.0)).unwrap();
+        let before = cache_stats();
+        let second = engine.analyze(&geo_reversed(7.0)).unwrap();
+        let after = cache_stats();
+        assert_eq!(after.hits, before.hits + 1, "permuted net must cache-hit");
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(
+            first.resource_usage("lambda").unwrap().to_bits(),
+            second.resource_usage("lambda").unwrap().to_bits()
+        );
+        // Id queries resolve through the composed permutation: place "P"
+        // is id 1 in the reversed net, id 0 in the original.
+        let reversed = geo_reversed(7.0);
+        let p_rev = reversed.place_by_name("P").unwrap();
+        let p_orig = geo(7.0).place_by_name("P").unwrap();
+        assert_ne!(p_rev, p_orig, "permutation test needs differing ids");
+        let direct = first.mean_tokens(p_orig);
+        assert!(
+            (second.mean_tokens(p_rev) - direct).abs() < 1e-12,
+            "remapped mean_tokens must match"
+        );
+        // A remapped hit exposes no graph (its indices are foreign).
+        assert!(second.graph().is_none());
+        // Transition queries remap too.
+        let t_rev = reversed.transition_by_name("exit").unwrap();
+        assert!(second.transition_usage(t_rev) > 0.0);
+    }
+
+    #[test]
+    fn auto_switches_to_des_exactly_at_the_state_budget() {
+        let _gate = crate::test_serial();
+        clear_cache();
+        let net = geo(6.0);
+        let states = net.reachability(1_000).unwrap().state_count();
+        let mk = |budget: usize| {
+            AnalysisEngine::new(EngineConfig {
+                backend: BackendSel::Auto,
+                tolerance: 1e-12,
+                max_sweeps: 100_000,
+                state_budget: budget,
+                des: DesOptions {
+                    horizon: 60_000,
+                    warmup: 6_000,
+                    batches: 3,
+                },
+            })
+        };
+        // Budget exactly at the state count: exact backend.
+        let at = mk(states).analyze(&net).unwrap();
+        assert_eq!(at.backend(), BackendKind::Exact);
+        assert_eq!(at.states(), states);
+        // One state less: DES fallback, with a confidence interval.
+        let below = mk(states - 1).analyze(&net).unwrap();
+        assert_eq!(below.backend(), BackendKind::Des);
+        let ci = below.resource_interval("lambda").expect("DES has a CI");
+        assert!(ci.half_width >= 0.0);
+        assert!(
+            (ci.estimate - 1.0 / 6.0).abs() < 0.02,
+            "DES estimate {} far from exact {}",
+            ci.estimate,
+            1.0 / 6.0
+        );
+        // The fallback result is cached: a second call is a hit.
+        let before = cache_stats();
+        let again = mk(states - 1).analyze(&net).unwrap();
+        assert_eq!(again.backend(), BackendKind::Des);
+        assert_eq!(cache_stats().hits, before.hits + 1);
+    }
+
+    #[test]
+    fn des_estimates_are_deterministic_across_build_orders() {
+        let _gate = crate::test_serial();
+        clear_cache();
+        let engine = AnalysisEngine::new(EngineConfig {
+            backend: BackendSel::Des,
+            des: DesOptions {
+                horizon: 60_000,
+                warmup: 6_000,
+                batches: 3,
+            },
+            ..EngineConfig::default()
+        });
+        let a = engine.analyze(&geo(9.0)).unwrap();
+        clear_cache(); // force a fresh DES run for the permuted build
+        let b = engine.analyze(&geo_reversed(9.0)).unwrap();
+        assert_eq!(
+            a.resource_usage("lambda").unwrap().to_bits(),
+            b.resource_usage("lambda").unwrap().to_bits(),
+            "canonical seeding must make DES order-invariant"
+        );
+    }
+
+    #[test]
+    fn distinct_configs_do_not_alias() {
+        let _gate = crate::test_serial();
+        clear_cache();
+        let net = geo(5.0);
+        let a = exact_engine().analyze(&net).unwrap();
+        let tighter = AnalysisEngine::new(EngineConfig {
+            tolerance: 1e-13,
+            ..exact_engine().config().clone()
+        });
+        let before = cache_stats();
+        let b = tighter.analyze(&net).unwrap();
+        let after = cache_stats();
+        assert_eq!(
+            after.misses,
+            before.misses + 1,
+            "tolerance is part of the key"
+        );
+        assert!(a.resource_usage("lambda").is_ok() && b.resource_usage("lambda").is_ok());
+    }
+
+    #[test]
+    fn backend_sel_env_parsing_defaults_to_auto() {
+        // Never mutates the environment: only asserts the fallback.
+        assert_eq!(BackendSel::from_env(), BackendSel::Auto);
+    }
+}

@@ -75,15 +75,28 @@ mod solve;
 mod state;
 
 pub mod cache;
+pub mod canonical;
 pub mod dot;
+pub mod engine;
 pub mod geometric;
 pub mod invariant;
 pub mod parse;
 pub mod sim;
 
+pub use engine::{Analysis, AnalysisEngine, BackendKind, BackendSel, DesOptions, EngineConfig};
 pub use error::GtpnError;
 pub use expr::{EvalContext, Expr};
 pub use net::{Net, PlaceId, TransId, Transition};
 pub use reach::ReachabilityGraph;
 pub use solve::{Solution, SolveWorkspace};
 pub use state::{Marking, State};
+
+/// Serializes tests that observe or clear the process-global caches — the
+/// harness runs test functions on multiple threads, and counter assertions
+/// in one test must not interleave with lookups from another.
+#[cfg(test)]
+pub(crate) fn test_serial() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -40,6 +40,13 @@ pub struct SimResult {
     pub completions: Vec<u64>,
     /// Measured interval length.
     pub measured_time: u64,
+    /// Per-place time-averaged token count (the DES analogue of
+    /// `ReachabilityGraph::mean_tokens`; tokens held by in-progress firings
+    /// are in transit and not counted, matching the exact solver).
+    pub mean_tokens: Vec<f64>,
+    /// Per-transition time-averaged number of in-progress firings (the DES
+    /// analogue of `Solution::transition_usage`).
+    pub transition_usage: Vec<f64>,
 }
 
 impl SimResult {
@@ -139,6 +146,8 @@ pub fn simulate<R: Rng>(
     let mut firings: Vec<(TransId, u64)> = Vec::new();
     let mut firing_counts = vec![0u32; tcount];
     let mut completions = vec![0u64; tcount];
+    let mut token_time = vec![0.0f64; net.place_count()];
+    let mut transition_usage_time = vec![0.0f64; tcount];
     let mut usage_time: HashMap<String, f64> = HashMap::new();
     for r in net.resources() {
         usage_time.insert(r.to_string(), 0.0);
@@ -221,10 +230,16 @@ pub fn simulate<R: Rng>(
         if weight > 0.0 {
             for (ti, t) in net.transitions.iter().enumerate() {
                 if firing_counts[ti] > 0 {
+                    transition_usage_time[ti] += weight * f64::from(firing_counts[ti]);
                     if let Some(r) = &t.resource {
                         *usage_time.get_mut(r).expect("pre-seeded") +=
                             weight * f64::from(firing_counts[ti]);
                     }
+                }
+            }
+            for (pi, &tokens) in marking.iter().enumerate() {
+                if tokens > 0 {
+                    token_time[pi] += weight * f64::from(tokens);
                 }
             }
         }
@@ -258,10 +273,19 @@ pub fn simulate<R: Rng>(
             )
         })
         .collect();
+    let time_avg = |v: Vec<f64>| -> Vec<f64> {
+        if measured == 0 {
+            vec![0.0; v.len()]
+        } else {
+            v.into_iter().map(|x| x / measured as f64).collect()
+        }
+    };
     Ok(SimResult {
         resource_usage,
         completions,
         measured_time: measured,
+        mean_tokens: time_avg(token_time),
+        transition_usage: time_avg(transition_usage_time),
     })
 }
 

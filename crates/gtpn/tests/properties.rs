@@ -2,10 +2,12 @@
 
 use gtpn::geometric::GeometricStage;
 use gtpn::sim::{simulate, SimOptions};
-use gtpn::{invariant, Net, Transition};
+use gtpn::{
+    canonical, invariant, AnalysisEngine, BackendSel, EngineConfig, Net, PlaceId, Transition,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Builds a ring of geometric stages with the given means; a single token
 /// cycles through all of them.
@@ -50,8 +52,90 @@ fn tandem_cycle_rate_mean_one_stage() {
     );
 }
 
+/// As [`stage_ring`], but adding places and stages in caller-chosen orders
+/// — the same model under a permuted build sequence.
+fn stage_ring_ordered(means: &[f64], place_order: &[usize], stage_order: &[usize]) -> Net {
+    let mut net = Net::new("ring");
+    let mut ids = vec![PlaceId(0); means.len()];
+    for &i in place_order {
+        ids[i] = net.add_place(format!("P{i}"), u32::from(i == 0));
+    }
+    for &i in stage_order {
+        let next = ids[(i + 1) % means.len()];
+        let mut stage = GeometricStage::new(format!("S{i}"), means[i])
+            .input(ids[i], 1)
+            .output(next, 1);
+        if i == 0 {
+            stage = stage.resource("lambda");
+        }
+        stage.build(&mut net).unwrap();
+    }
+    net
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Canonicalization is invariant under random place/transition build
+    /// permutations: the permuted net has the same canonical fingerprint,
+    /// and analyzing it through the engine yields the same `Solution`
+    /// numbers — bitwise, because the permuted build is a cache hit on the
+    /// original's entry.
+    #[test]
+    fn canonicalization_is_permutation_invariant(
+        means in proptest::collection::vec(1.0f64..40.0, 2..5),
+        seed in 0u64..10_000,
+    ) {
+        // Fisher–Yates (the vendored rand has no `seq` module).
+        fn shuffle(v: &mut [usize], rng: &mut StdRng) {
+            for i in (1..v.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                v.swap(i, j);
+            }
+        }
+        let natural: Vec<usize> = (0..means.len()).collect();
+        let mut place_order = natural.clone();
+        let mut stage_order = natural.clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        shuffle(&mut place_order, &mut rng);
+        shuffle(&mut stage_order, &mut rng);
+
+        let a = stage_ring_ordered(&means, &natural, &natural);
+        let b = stage_ring_ordered(&means, &place_order, &stage_order);
+        prop_assert_eq!(canonical::fingerprint(&a), canonical::fingerprint(&b),
+            "permuted build must share the canonical fingerprint");
+
+        let engine = AnalysisEngine::new(EngineConfig {
+            backend: BackendSel::Exact,
+            tolerance: 1e-12,
+            max_sweeps: 300_000,
+            state_budget: 200_000,
+            ..EngineConfig::default()
+        });
+        let sa = engine.analyze(&a).unwrap();
+        let sb = engine.analyze(&b).unwrap();
+        prop_assert_eq!(
+            sa.resource_usage("lambda").unwrap().to_bits(),
+            sb.resource_usage("lambda").unwrap().to_bits(),
+            "permuted build must reuse the cached solution"
+        );
+        // And the shared number is the analytically known cycle rate.
+        let expect = 1.0 / means.iter().sum::<f64>();
+        let usage = sa.resource_usage("lambda").unwrap();
+        prop_assert!((usage - expect).abs() < 1e-6 * expect.max(1e-3),
+            "means {:?}: usage {} vs {}", means, usage, expect);
+        // Per-id queries on the permuted net resolve by that net's own
+        // ids: stage 0's exit transition carries the `lambda` usage
+        // wherever it was inserted.
+        let ta = a.transition_by_name("S0_exit").unwrap();
+        let tb = b.transition_by_name("S0_exit").unwrap();
+        prop_assert_eq!(
+            sa.transition_usage(ta).to_bits(),
+            sb.transition_usage(tb).to_bits(),
+            "remapped transition query must match"
+        );
+        prop_assert!(sb.transition_usage(tb) > 0.0);
+    }
 
     /// The cycle rate of a tandem of geometric stages is 1/Σmeans, for any
     /// stage means — the exact solver must get this analytically-known

@@ -12,7 +12,7 @@ use crate::stages::{clamp_mean, stage_mean};
 use crate::ModelError;
 use archsim::timings::{ActivityKind as K, Architecture, Locality};
 use gtpn::geometric::GeometricStage;
-use gtpn::{Expr, Net, TransId};
+use gtpn::{AnalysisEngine, Expr, Net, TransId};
 
 /// Solution of the client model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -158,13 +158,24 @@ pub fn solve_with_hosts(
     s_d: f64,
     hosts: u32,
 ) -> Result<ClientSolution, ModelError> {
+    solve_with_hosts_in(crate::default_engine(), arch, n, s_d, hosts)
+}
+
+/// As [`solve_with_hosts`], analyzing through an explicit engine.
+pub fn solve_with_hosts_in(
+    engine: &AnalysisEngine,
+    arch: Architecture,
+    n: u32,
+    s_d: f64,
+    hosts: u32,
+) -> Result<ClientSolution, ModelError> {
     let net = build_with_hosts(arch, n, s_d, hosts)?;
-    let (graph, sol) = crate::analyze(&net)?;
-    let lambda = sol.resource_usage("lambda")?;
+    let analysis = crate::analyze_in(engine, &net)?;
+    let lambda = analysis.resource_usage("lambda")?;
     Ok(ClientSolution {
         lambda_per_us: lambda,
         cycle_us: f64::from(n) / lambda,
-        states: graph.state_count(),
+        states: analysis.states(),
     })
 }
 

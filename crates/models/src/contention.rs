@@ -12,7 +12,7 @@
 //! tables' Contention columns.
 
 use crate::ModelError;
-use gtpn::{Expr, Net, Transition};
+use gtpn::{AnalysisEngine, Expr, Net, Transition};
 
 /// One contending activity: a name, its pure completion time (the "Best"
 /// column) and its shared-memory access time within that.
@@ -92,12 +92,20 @@ pub fn build(activities: &[ContendingActivity]) -> Result<Net, ModelError> {
 /// Solves the contention model: returns each activity's contention
 /// completion time (µs), in input order.
 pub fn completion_times(activities: &[ContendingActivity]) -> Result<Vec<f64>, ModelError> {
+    completion_times_in(crate::default_engine(), activities)
+}
+
+/// As [`completion_times`], analyzing through an explicit engine.
+pub fn completion_times_in(
+    engine: &AnalysisEngine,
+    activities: &[ContendingActivity],
+) -> Result<Vec<f64>, ModelError> {
     let net = build(activities)?;
-    let (_graph, sol) = crate::analyze(&net)?;
+    let analysis = crate::analyze_in(engine, &net)?;
     activities
         .iter()
         .map(|a| {
-            let rate = sol.resource_usage(&format!("{}_done", a.name))?;
+            let rate = analysis.resource_usage(&format!("{}_done", a.name))?;
             Ok(1.0 / rate)
         })
         .collect()

@@ -37,6 +37,7 @@ pub mod validation;
 mod stages;
 
 pub use archsim::timings::{Architecture, Locality};
+pub use gtpn::{Analysis, AnalysisEngine, BackendKind, BackendSel, DesOptions, EngineConfig};
 
 /// Default state budget for reachability analysis of the chapter-6 nets.
 pub const STATE_BUDGET: usize = 2_000_000;
@@ -83,23 +84,29 @@ impl From<gtpn::GtpnError> for ModelError {
     }
 }
 
-/// Expands and solves a chapter-6 net under the default budgets, going
-/// through the global reachability cache and a per-thread solver workspace.
+/// The process-wide default analysis engine: the chapter-6 budgets
+/// ([`TOLERANCE`], [`MAX_SWEEPS`], [`STATE_BUDGET`]) with the backend
+/// policy taken from `HSIPC_BACKEND` at first use
+/// ([`BackendSel::from_env`]).
 ///
-/// The sweeps re-solve structurally identical nets constantly — several
-/// figures share points, and the §6.6.3 fixed point revisits the same
-/// client/server nets across iterations — so the reachability graph comes
-/// from [`gtpn::cache`] and the Gauss–Seidel scratch buffers are reused
-/// across every solve a worker thread performs.
-pub(crate) fn analyze(
-    net: &gtpn::Net,
-) -> Result<(std::sync::Arc<gtpn::ReachabilityGraph>, gtpn::Solution), ModelError> {
-    use std::cell::RefCell;
-    thread_local! {
-        static WORKSPACE: RefCell<gtpn::SolveWorkspace> =
-            RefCell::new(gtpn::SolveWorkspace::new());
-    }
-    let graph = gtpn::cache::reachability(net, STATE_BUDGET)?;
-    let sol = WORKSPACE.with(|ws| graph.solve_with(TOLERANCE, MAX_SWEEPS, &mut ws.borrow_mut()))?;
-    Ok((graph, sol))
+/// Every model-level `solve` function without an explicit engine argument
+/// analyzes through this engine, so sweeps, experiments and tests share
+/// one canonical-net solution cache and one set of hit/miss counters.
+pub fn default_engine() -> &'static AnalysisEngine {
+    static ENGINE: std::sync::OnceLock<AnalysisEngine> = std::sync::OnceLock::new();
+    ENGINE.get_or_init(|| {
+        AnalysisEngine::new(EngineConfig {
+            backend: BackendSel::from_env(),
+            tolerance: TOLERANCE,
+            max_sweeps: MAX_SWEEPS,
+            state_budget: STATE_BUDGET,
+            des: DesOptions::default(),
+        })
+    })
+}
+
+/// Analyzes a chapter-6 net through `engine`; the single choke point every
+/// model solve in this crate funnels through.
+pub(crate) fn analyze_in(engine: &AnalysisEngine, net: &gtpn::Net) -> Result<Analysis, ModelError> {
+    Ok(engine.analyze(net)?)
 }

@@ -21,15 +21,21 @@ use crate::stages::{clamp_mean, stage_mean};
 use crate::ModelError;
 use archsim::timings::{ActivityKind as K, Architecture, Locality};
 use gtpn::geometric::GeometricStage;
-use gtpn::Net;
+use gtpn::{AnalysisEngine, BackendKind, Net};
 
 /// Result of solving a local model.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LocalSolution {
     /// Conversations completed per millisecond (the paper's Λ).
     pub throughput_per_ms: f64,
-    /// Number of tangible states in the embedded chain.
+    /// Number of tangible states in the embedded chain (0 when the DES
+    /// backend estimated the point).
     pub states: usize,
+    /// Which engine backend produced the number.
+    pub backend: BackendKind,
+    /// 95% half-width on the throughput, conversations/ms — `Some` only
+    /// for DES estimates.
+    pub half_width_per_ms: Option<f64>,
 }
 
 /// Builds the local-conversation net for `arch` with `n` simultaneous
@@ -153,6 +159,16 @@ pub fn solve(arch: Architecture, n: u32, x_us: f64) -> Result<LocalSolution, Mod
     solve_with_hosts(arch, n, x_us, 1)
 }
 
+/// As [`solve`], analyzing through an explicit engine.
+pub fn solve_in(
+    engine: &AnalysisEngine,
+    arch: Architecture,
+    n: u32,
+    x_us: f64,
+) -> Result<LocalSolution, ModelError> {
+    solve_with_hosts_in(engine, arch, n, x_us, 1)
+}
+
 /// Solves the Chapter 7 multi-host extension (see [`build_with_hosts`]).
 pub fn solve_with_hosts(
     arch: Architecture,
@@ -160,13 +176,28 @@ pub fn solve_with_hosts(
     x_us: f64,
     hosts: u32,
 ) -> Result<LocalSolution, ModelError> {
+    solve_with_hosts_in(crate::default_engine(), arch, n, x_us, hosts)
+}
+
+/// As [`solve_with_hosts`], analyzing through an explicit engine.
+pub fn solve_with_hosts_in(
+    engine: &AnalysisEngine,
+    arch: Architecture,
+    n: u32,
+    x_us: f64,
+    hosts: u32,
+) -> Result<LocalSolution, ModelError> {
     let net = build_with_hosts(arch, n, x_us, hosts)?;
-    let (graph, sol) = crate::analyze(&net)?;
+    let analysis = crate::analyze_in(engine, &net)?;
     // `lambda` sits on delay-1 exit transitions: usage == rate per µs.
-    let per_us = sol.resource_usage("lambda")?;
+    let per_us = analysis.resource_usage("lambda")?;
     Ok(LocalSolution {
         throughput_per_ms: per_us * 1_000.0,
-        states: graph.state_count(),
+        states: analysis.states(),
+        backend: analysis.backend(),
+        half_width_per_ms: analysis
+            .resource_interval("lambda")
+            .map(|ci| ci.half_width * 1_000.0),
     })
 }
 

@@ -14,6 +14,7 @@ use crate::server;
 use crate::stages::stage_mean;
 use crate::ModelError;
 use archsim::timings::{ActivityKind as K, Architecture, Locality};
+use gtpn::AnalysisEngine;
 
 /// Converged solution of the non-local model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,9 +50,32 @@ pub fn solve(arch: Architecture, n: u32, x_us: f64) -> Result<NonLocalSolution, 
     solve_with_hosts(arch, n, x_us, 1)
 }
 
+/// As [`solve`], analyzing through an explicit engine.
+pub fn solve_in(
+    engine: &AnalysisEngine,
+    arch: Architecture,
+    n: u32,
+    x_us: f64,
+) -> Result<NonLocalSolution, ModelError> {
+    solve_with_hosts_in(engine, arch, n, x_us, 1)
+}
+
 /// As [`solve`] with `hosts` host processors per node — the paper's 925
 /// validation configuration ran two hosts per node (§6.8).
 pub fn solve_with_hosts(
+    arch: Architecture,
+    n: u32,
+    x_us: f64,
+    hosts: u32,
+) -> Result<NonLocalSolution, ModelError> {
+    solve_with_hosts_in(crate::default_engine(), arch, n, x_us, hosts)
+}
+
+/// As [`solve_with_hosts`], analyzing every sub-model through an explicit
+/// engine — the §6.6.3 iteration re-solves nearly identical nets each
+/// round, so the engine's solution cache pays off across iterations.
+pub fn solve_with_hosts_in(
+    engine: &AnalysisEngine,
     arch: Architecture,
     n: u32,
     x_us: f64,
@@ -69,20 +93,20 @@ pub fn solve_with_hosts(
     let mut delta = f64::INFINITY;
 
     for it in 1..=MAX_ITERATIONS {
-        let cl = client::solve_with_hosts(arch, n, s_d, hosts)?;
+        let cl = client::solve_with_hosts_in(engine, arch, n, s_d, hosts)?;
         let c_d_prime = cl.cycle_us - s_d;
         last_client = Some(cl);
 
-        let sv_probe = server::solve_with_hosts(arch, n, x_us, c_d.max(1.0), hosts)?;
+        let sv_probe = server::solve_with_hosts_in(engine, arch, n, x_us, c_d.max(1.0), hosts)?;
         c_d = (c_d_prime - sv_probe.s_c_us).max(1.0);
-        let sv = server::solve_with_hosts(arch, n, x_us, c_d, hosts)?;
+        let sv = server::solve_with_hosts_in(engine, arch, n, x_us, c_d, hosts)?;
         let s_d_new = sv.s_d_us + outside;
 
         delta = (s_d_new - s_d).abs() / s_d.max(1.0);
         // Damping stabilizes the alternation at high loads.
         s_d = 0.5 * s_d + 0.5 * s_d_new;
         if delta < FIXED_POINT_TOL {
-            let cl = client::solve_with_hosts(arch, n, s_d, hosts)?;
+            let cl = client::solve_with_hosts_in(engine, arch, n, s_d, hosts)?;
             return Ok(NonLocalSolution {
                 throughput_per_ms: cl.lambda_per_us * 1_000.0,
                 s_d_us: s_d,

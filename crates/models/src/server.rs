@@ -14,7 +14,7 @@ use crate::stages::{clamp_mean, stage_mean};
 use crate::ModelError;
 use archsim::timings::{ActivityKind as K, Architecture, Locality};
 use gtpn::geometric::GeometricStage;
-use gtpn::{Expr, Net, PlaceId, TransId};
+use gtpn::{AnalysisEngine, Expr, Net, PlaceId, TransId};
 
 /// Solution of the server model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -183,25 +183,36 @@ pub fn solve_with_hosts(
     c_d: f64,
     hosts: u32,
 ) -> Result<ServerSolution, ModelError> {
+    solve_with_hosts_in(crate::default_engine(), arch, n, x_us, c_d, hosts)
+}
+
+/// As [`solve_with_hosts`], analyzing through an explicit engine.
+pub fn solve_with_hosts_in(
+    engine: &AnalysisEngine,
+    arch: Architecture,
+    n: u32,
+    x_us: f64,
+    c_d: f64,
+    hosts: u32,
+) -> Result<ServerSolution, ModelError> {
     let built = build(arch, n, x_us, c_d, hosts)?;
-    let (graph, sol) = crate::analyze(&built.net)?;
-    let lambda = sol.resource_usage("arrival")?;
+    let analysis = crate::analyze_in(engine, &built.net)?;
+    let lambda = analysis.resource_usage("arrival")?;
     // Customers in system: queued requests + tokens between stages + all
     // in-progress service firings.
-    let mut n_sys =
-        graph.mean_tokens(&sol, built.req_pending) + graph.mean_tokens(&sol, built.matched);
+    let mut n_sys = analysis.mean_tokens(built.req_pending) + analysis.mean_tokens(built.matched);
     if let Some(p) = built.run_done {
-        n_sys += graph.mean_tokens(&sol, p);
+        n_sys += analysis.mean_tokens(p);
     }
     for (exit, looped) in &built.system_stages {
-        n_sys += sol.transition_usage(*exit) + sol.transition_usage(*looped);
+        n_sys += analysis.transition_usage(*exit) + analysis.transition_usage(*looped);
     }
     Ok(ServerSolution {
         arrival_per_us: lambda,
         in_system: n_sys,
         s_d_us: n_sys / lambda,
         s_c_us: built.s_c_us,
-        states: graph.state_count(),
+        states: analysis.states(),
     })
 }
 

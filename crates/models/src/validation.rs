@@ -16,6 +16,7 @@
 use crate::{nonlocal, ModelError};
 use archsim::timings::{Architecture, Locality};
 use archsim::{Simulation, WorkloadSpec};
+use gtpn::AnalysisEngine;
 
 /// One validation point: model prediction vs "experimental" measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,7 +48,26 @@ pub fn compare(
     server_us: f64,
     seed: u64,
 ) -> Result<ValidationPoint, ModelError> {
-    let model = nonlocal::solve(Architecture::MessageCoprocessor, conversations, server_us)?;
+    compare_in(crate::default_engine(), conversations, server_us, seed)
+}
+
+/// As [`compare`], analyzing the model half through an explicit engine.
+///
+/// # Errors
+///
+/// Propagates model-solution failures.
+pub fn compare_in(
+    engine: &AnalysisEngine,
+    conversations: u32,
+    server_us: f64,
+    seed: u64,
+) -> Result<ValidationPoint, ModelError> {
+    let model = nonlocal::solve_in(
+        engine,
+        Architecture::MessageCoprocessor,
+        conversations,
+        server_us,
+    )?;
     let spec = WorkloadSpec {
         conversations: conversations as usize,
         server_compute_us: server_us,
@@ -76,7 +96,23 @@ pub fn compare_two_hosts(
     server_us: f64,
     seed: u64,
 ) -> Result<ValidationPoint, ModelError> {
-    let model = nonlocal::solve_with_hosts(
+    compare_two_hosts_in(crate::default_engine(), conversations, server_us, seed)
+}
+
+/// As [`compare_two_hosts`], analyzing the model half through an explicit
+/// engine.
+///
+/// # Errors
+///
+/// Propagates model-solution failures.
+pub fn compare_two_hosts_in(
+    engine: &AnalysisEngine,
+    conversations: u32,
+    server_us: f64,
+    seed: u64,
+) -> Result<ValidationPoint, ModelError> {
+    let model = nonlocal::solve_with_hosts_in(
+        engine,
         Architecture::MessageCoprocessor,
         conversations,
         server_us,

@@ -187,6 +187,36 @@ impl<P> Grid<P> {
     {
         map_with(mode, threads, &self.points, f)
     }
+
+    /// Evaluates every point through a shared [`gtpn::AnalysisEngine`]
+    /// under the environment's execution policy. Workers all analyze
+    /// through the same engine, so structurally-identical nets across
+    /// points hit one canonical solution cache no matter which worker
+    /// claims them.
+    pub fn eval_in<O, F>(&self, engine: &gtpn::AnalysisEngine, f: F) -> Vec<O>
+    where
+        P: Sync,
+        O: Send,
+        F: Fn(&gtpn::AnalysisEngine, &P) -> O + Sync,
+    {
+        map(&self.points, |p| f(engine, p))
+    }
+
+    /// As [`Grid::eval_in`] with an explicit mode and thread count.
+    pub fn eval_in_with<O, F>(
+        &self,
+        engine: &gtpn::AnalysisEngine,
+        mode: ExecMode,
+        threads: usize,
+        f: F,
+    ) -> Vec<O>
+    where
+        P: Sync,
+        O: Send,
+        F: Fn(&gtpn::AnalysisEngine, &P) -> O + Sync,
+    {
+        map_with(mode, threads, &self.points, |p| f(engine, p))
+    }
 }
 
 /// The cartesian product `outer × inner`, outer-major — the nested-loop

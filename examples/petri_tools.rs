@@ -7,7 +7,7 @@
 
 use hsipc::gtpn::sim::{confidence_interval, SimOptions};
 use hsipc::gtpn::{dot, invariant};
-use hsipc::models::{local, Architecture};
+use hsipc::models::{local, AnalysisEngine, Architecture, BackendSel, EngineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -43,8 +43,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t_basis = invariant::t_invariants(&net);
     println!("T-invariants: {} (the conversation cycles)", t_basis.len());
 
-    // Reachability: size, bounds, liveness.
-    let graph = net.reachability(2_000_000)?;
+    // Exact analysis through the engine; its retained reachability graph
+    // answers the structural queries (bounds, liveness).
+    let engine = AnalysisEngine::new(EngineConfig {
+        backend: BackendSel::Exact,
+        ..EngineConfig::default()
+    });
+    let analysis = engine.analyze(&net)?;
+    let graph = analysis
+        .graph()
+        .expect("exact backend retains the reachability graph");
     println!(
         "\nreachability: {} tangible states, {} edges",
         graph.state_count(),
@@ -65,9 +73,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     );
 
-    // Exact steady state.
-    let sol = graph.solve(1e-11, 400_000)?;
-    let exact = sol.resource_usage("lambda")?;
+    // Exact steady state (solved by the same engine call).
+    let exact = analysis.resource_usage("lambda")?;
     println!(
         "\nexact throughput: {:.6} conversations/µs ({:.4}/ms)",
         exact,
@@ -75,8 +82,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "solver: {} sweeps, residual {:.2e}",
-        sol.iterations(),
-        sol.residual()
+        analysis.iterations().expect("exact backend iterates"),
+        analysis.residual().expect("exact backend converges")
     );
 
     // Monte-Carlo cross-check with a confidence interval.

@@ -7,22 +7,28 @@
 use hsipc::archsim::{Architecture, Locality, Simulation, WorkloadSpec};
 use hsipc::gtpn::sim::{simulate, SimOptions};
 use hsipc::models::local;
+use hsipc::models::{AnalysisEngine, BackendSel, EngineConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Exact GTPN solution vs Monte-Carlo simulation of the *same net*.
 #[test]
 fn exact_solver_agrees_with_monte_carlo() {
+    let engine = AnalysisEngine::new(EngineConfig {
+        backend: BackendSel::Exact,
+        tolerance: 1e-11,
+        max_sweeps: 400_000,
+        state_budget: 2_000_000,
+        ..EngineConfig::default()
+    });
     for (arch, n) in [
         (Architecture::Uniprocessor, 2u32),
         (Architecture::MessageCoprocessor, 2),
         (Architecture::SmartBus, 3),
     ] {
         let net = local::build(arch, n, 1_140.0).unwrap();
-        let exact = net
-            .reachability(2_000_000)
-            .unwrap()
-            .solve(1e-11, 400_000)
+        let exact = engine
+            .analyze(&net)
             .unwrap()
             .resource_usage("lambda")
             .unwrap();

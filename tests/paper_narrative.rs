@@ -39,12 +39,18 @@ fn parsed_notation_drives_the_solver() {
     )
     .unwrap();
     let _ = (intr, exit_t);
-    let sol = net
-        .reachability(1_000)
+    let engine = hsipc::gtpn::AnalysisEngine::new(hsipc::gtpn::EngineConfig {
+        backend: hsipc::gtpn::BackendSel::Exact,
+        tolerance: 1e-12,
+        max_sweeps: 100_000,
+        state_budget: 1_000,
+        ..hsipc::gtpn::EngineConfig::default()
+    });
+    let usage = engine
+        .analyze(&net)
         .unwrap()
-        .solve(1e-12, 100_000)
+        .resource_usage("lambda")
         .unwrap();
-    let usage = sol.resource_usage("lambda").unwrap();
     assert!((usage - 1.0 / 50.0).abs() < 1e-9, "usage {usage}");
 }
 
