@@ -4,10 +4,17 @@
 //! whose points execute on a worker pool, and each swept experiment fans
 //! its own points out on the same policy. Output is printed in request
 //! order and is byte-identical to a sequential run (`--sequential` or
-//! `HSIPC_SWEEP=seq` forces one; `RAYON_NUM_THREADS` / `HSIPC_SWEEP_THREADS`
-//! set the worker count).
+//! `HSIPC_SWEEP=1` forces one; `HSIPC_SWEEP=<n>` / `RAYON_NUM_THREADS` /
+//! `HSIPC_SWEEP_THREADS` set the worker count).
+//!
+//! `--timing` additionally reports wall-clock and cache statistics on
+//! stderr, runs the non-local n=4 solver micro-benchmark at one thread vs
+//! the full budget, and writes the machine-readable perf trajectory to
+//! `BENCH_solver.json` — stdout stays byte-identical either way.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 use sweep::ExecMode;
 
@@ -47,20 +54,28 @@ fn main() -> ExitCode {
         args
     };
 
-    let threads = sweep::thread_count();
+    let threads = sweep::threads();
     let started = Instant::now();
     // One grid point per experiment; each result slot comes back in request
     // order no matter which worker produced it. Swept experiments fan out
-    // their own points on the same pool policy.
+    // their own points on the same pool policy. Per-experiment wall-clock
+    // rides along for the `--timing` report (and is dropped otherwise).
     let grid = sweep::Grid::new(ids);
     let results = grid.eval_with(mode, threads, |id| {
-        hsipc::experiments::run_with(id, mode, threads)
+        let t0 = Instant::now();
+        let out = hsipc::experiments::run_with(id, mode, threads);
+        (out, t0.elapsed().as_secs_f64())
     });
+    let total_seconds = started.elapsed().as_secs_f64();
 
     let mut failed = false;
-    for (id, result) in grid.points().iter().zip(results) {
+    let mut timed: Vec<(String, f64)> = Vec::with_capacity(grid.len());
+    for (id, (result, seconds)) in grid.points().iter().zip(results) {
         match result {
-            Some(output) => println!("{output}"),
+            Some(output) => {
+                println!("{output}");
+                timed.push((id.clone(), seconds));
+            }
             None => {
                 eprintln!("unknown experiment `{id}` (try `repro list`)");
                 failed = true;
@@ -85,10 +100,123 @@ fn main() -> ExitCode {
             "reachability cache: {} hits, {} misses, {} evictions, {} entries",
             reach.hits, reach.misses, reach.evictions, reach.entries
         );
+        let json = timing_json(mode, threads, total_seconds, &timed, engine, reach);
+        match std::fs::write("BENCH_solver.json", &json) {
+            Ok(()) => eprintln!("wrote BENCH_solver.json"),
+            Err(e) => eprintln!("could not write BENCH_solver.json: {e}"),
+        }
     }
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Times one non-local n=4 fixed-point solve under an isolated engine with
+/// a `cores`-wide budget. The process-global reachability cache is cleared
+/// first and the engine carries a private solution cache, so neither the
+/// experiment run above nor the sibling measurement can feed this one.
+fn nonlocal_n4_case(cores: usize) -> (f64, f64) {
+    gtpn::cache::clear();
+    let engine = models::AnalysisEngine::new(models::EngineConfig {
+        backend: models::BackendSel::Exact,
+        tolerance: models::TOLERANCE,
+        max_sweeps: models::MAX_SWEEPS,
+        state_budget: models::STATE_BUDGET,
+        des: models::DesOptions::default(),
+        par_solve: gtpn::par::par_solve_enabled(),
+    })
+    .with_cache(256)
+    .with_budget(Arc::new(gtpn::ParallelBudget::new(cores)));
+    let t0 = Instant::now();
+    let s = models::nonlocal::solve_in(&engine, models::Architecture::MessageCoprocessor, 4, 0.0)
+        .expect("non-local n=4 solves");
+    (t0.elapsed().as_secs_f64(), s.throughput_per_ms)
+}
+
+/// The machine-readable `--timing` report: per-experiment wall-clock,
+/// cache hit rates, the thread policy, and the non-local n=4 solver
+/// micro-benchmark at 1 thread vs the full thread budget.
+fn timing_json(
+    mode: ExecMode,
+    threads: usize,
+    total_seconds: f64,
+    timed: &[(String, f64)],
+    engine: gtpn::cache::CacheStats,
+    reach: gtpn::cache::CacheStats,
+) -> String {
+    // The solver benchmark: same model, same engine config, budgets of 1
+    // and `threads.max(8)` cores. The results must agree to the bit —
+    // thread budgets change wall-clock only.
+    let bench_cores = threads.max(8);
+    let (serial_s, serial_tp) = nonlocal_n4_case(1);
+    let (par_s, par_tp) = nonlocal_n4_case(bench_cores);
+    assert_eq!(
+        serial_tp.to_bits(),
+        par_tp.to_bits(),
+        "thread budget changed the non-local result"
+    );
+    let physical = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let cache = |s: gtpn::cache::CacheStats| {
+        let lookups = s.hits + s.misses;
+        let rate = if lookups > 0 {
+            s.hits as f64 / lookups as f64
+        } else {
+            0.0
+        };
+        format!(
+            "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"hit_rate\": {:.4}}}",
+            s.hits, s.misses, s.evictions, s.entries, rate
+        )
+    };
+    let mut experiments = String::from("[");
+    for (i, (id, seconds)) in timed.iter().enumerate() {
+        if i > 0 {
+            experiments.push_str(", ");
+        }
+        let _ = write!(
+            experiments,
+            "{{\"id\": \"{id}\", \"seconds\": {seconds:.4}}}"
+        );
+    }
+    experiments.push(']');
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"hsipc-bench-solver/v1\",\n",
+            "  \"mode\": \"{mode:?}\",\n",
+            "  \"threads\": {threads},\n",
+            "  \"physical_cores\": {physical},\n",
+            "  \"total_seconds\": {total:.4},\n",
+            "  \"engine_cache\": {engine},\n",
+            "  \"reachability_cache\": {reach},\n",
+            "  \"nonlocal_n4\": {{\n",
+            "    \"description\": \"§6.6.3 fixed point, arch II, n=4, x=0: one solve under a 1-core budget vs a {cores}-core budget (uncached; results bit-identical)\",\n",
+            "    \"serial_seconds\": {serial:.4},\n",
+            "    \"parallel_seconds\": {par:.4},\n",
+            "    \"parallel_cores\": {cores},\n",
+            "    \"speedup\": {speedup:.3},\n",
+            "    \"throughput_per_ms\": {tp}\n",
+            "  }},\n",
+            "  \"experiments\": {experiments}\n",
+            "}}\n",
+        ),
+        mode = mode,
+        threads = threads,
+        physical = physical,
+        total = total_seconds,
+        engine = cache(engine),
+        reach = cache(reach),
+        cores = bench_cores,
+        serial = serial_s,
+        par = par_s,
+        speedup = serial_s / par_s.max(1e-9),
+        tp = serial_tp,
+        experiments = experiments,
+    )
 }

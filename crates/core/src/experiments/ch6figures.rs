@@ -27,7 +27,7 @@ const LOAD_SWEEP: [f64; 7] = [0.95, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4];
 /// The environment's execution policy, for the registry's `fn() -> String`
 /// entries.
 fn env_exec() -> (ExecMode, usize) {
-    (sweep::exec_mode(), sweep::thread_count())
+    (sweep::exec_mode(), sweep::threads())
 }
 
 /// Figure 6.7 — the geometric approximation of a large constant delay
@@ -54,6 +54,7 @@ pub fn fig_6_7() -> String {
         max_sweeps: 100_000,
         state_budget: 1_000,
         des: DesOptions::default(),
+        par_solve: gtpn::par::par_solve_enabled(),
     });
     let exact = engine
         .analyze(&constant)
@@ -417,6 +418,7 @@ pub fn fig_7_scale_with(mode: ExecMode, threads: usize) -> String {
         max_sweeps: models::MAX_SWEEPS,
         state_budget: 10_000,
         des: DesOptions::default(),
+        par_solve: gtpn::par::par_solve_enabled(),
     });
     let grid = Grid::new(vec![2u32, 4, 6, 8]);
     let rows = grid.eval_in_with(&engine, mode, threads, |engine, &n| {

@@ -174,7 +174,7 @@ fn offered_table(
 
 /// Table 6.24 — offered loads, local.
 pub fn table_6_24() -> String {
-    table_6_24_with(sweep::exec_mode(), sweep::thread_count())
+    table_6_24_with(sweep::exec_mode(), sweep::threads())
 }
 
 /// [`table_6_24`] under an explicit execution mode.
@@ -184,7 +184,7 @@ pub fn table_6_24_with(mode: sweep::ExecMode, threads: usize) -> String {
 
 /// Table 6.25 — offered loads, non-local.
 pub fn table_6_25() -> String {
-    table_6_25_with(sweep::exec_mode(), sweep::thread_count())
+    table_6_25_with(sweep::exec_mode(), sweep::threads())
 }
 
 /// [`table_6_25`] under an explicit execution mode.

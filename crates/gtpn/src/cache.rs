@@ -159,12 +159,28 @@ pub fn clear() {
 ///
 /// Exactly those of [`Net::reachability`].
 pub fn reachability(net: &Net, max_states: usize) -> Result<Arc<ReachabilityGraph>, GtpnError> {
+    reachability_budgeted(net, max_states, &crate::par::ParallelBudget::serial())
+}
+
+/// As [`reachability`], expanding cache misses with extra worker threads
+/// claimed from `par` ([`Net::reachability_budgeted`]). The parallel build
+/// is byte-identical to the serial one, so hits and misses — and cached
+/// values produced under any budget — are interchangeable.
+///
+/// # Errors
+///
+/// Exactly those of [`Net::reachability`].
+pub fn reachability_budgeted(
+    net: &Net,
+    max_states: usize,
+    par: &crate::par::ParallelBudget,
+) -> Result<Arc<ReachabilityGraph>, GtpnError> {
     let cap = capacity();
     if cap == 0 {
         let mut c = cache().lock().expect("reachability cache poisoned");
         c.misses += 1;
         drop(c);
-        return Ok(Arc::new(net.reachability(max_states)?));
+        return Ok(Arc::new(net.reachability_budgeted(max_states, par)?));
     }
     let fp = fingerprint(net);
     {
@@ -189,7 +205,7 @@ pub fn reachability(net: &Net, max_states: usize) -> Result<Arc<ReachabilityGrap
     // be solving different points meanwhile. Two threads racing on the same
     // net both expand; the second insert is a harmless duplicate that
     // eviction ages out.
-    let graph = Arc::new(net.reachability(max_states)?);
+    let graph = Arc::new(net.reachability_budgeted(max_states, par)?);
     let mut c = cache().lock().expect("reachability cache poisoned");
     while c.count >= cap {
         c.evict_lru();

@@ -40,6 +40,7 @@
 use crate::canonical::{self, Canonical};
 use crate::error::GtpnError;
 use crate::net::{Net, PlaceId, TransId};
+use crate::par::ParallelBudget;
 use crate::reach::ReachabilityGraph;
 use crate::sim::{self, ConfidenceInterval, SimOptions};
 use crate::solve::{Solution, SolveWorkspace};
@@ -129,6 +130,12 @@ pub struct EngineConfig {
     pub state_budget: usize,
     /// DES replication options.
     pub des: DesOptions,
+    /// Use the red-black ordered solver (exact backend). Results agree
+    /// with the default serial sweep to solver tolerance but are not
+    /// bit-identical to it, so this is opt-in (`HSIPC_PAR_SOLVE=1` via
+    /// [`crate::par::par_solve_enabled`]) and part of the cache key. The
+    /// red-black results themselves are independent of thread count.
+    pub par_solve: bool,
 }
 
 impl Default for EngineConfig {
@@ -142,6 +149,7 @@ impl Default for EngineConfig {
             max_sweeps: 400_000,
             state_budget: 2_000_000,
             des: DesOptions::default(),
+            par_solve: false,
         }
     }
 }
@@ -325,14 +333,25 @@ impl Analysis {
 pub trait Backend: Sync {
     /// The kind tag this backend caches its results under.
     fn kind(&self) -> BackendKind;
-    /// Analyzes `net` under `cfg`, in `net`'s own id space.
+    /// Analyzes `net` under `cfg`, in `net`'s own id space, drawing any
+    /// extra worker threads from `par` (see [`ParallelBudget`]); backends
+    /// must produce results independent of what the budget grants.
     ///
     /// # Errors
     ///
     /// Backend-specific; see [`Net::reachability`],
     /// [`ReachabilityGraph::solve`] and [`sim::simulate`].
-    fn run(&self, net: &Net, cfg: &EngineConfig) -> Result<AnalysisData, GtpnError>;
+    fn run(
+        &self,
+        net: &Net,
+        cfg: &EngineConfig,
+        par: &ParallelBudget,
+    ) -> Result<AnalysisData, GtpnError>;
 }
+
+/// State count below which the red-black solver does not bother claiming
+/// extra cores — thread dispatch per color sweep costs more than the sweep.
+const PAR_SOLVE_MIN_STATES: usize = 512;
 
 /// The exact pipeline: memoized reachability expansion + Gauss–Seidel,
 /// with a warm per-thread [`SolveWorkspace`].
@@ -344,13 +363,34 @@ impl Backend for ExactMarkov {
         BackendKind::Exact
     }
 
-    fn run(&self, net: &Net, cfg: &EngineConfig) -> Result<AnalysisData, GtpnError> {
+    fn run(
+        &self,
+        net: &Net,
+        cfg: &EngineConfig,
+        par: &ParallelBudget,
+    ) -> Result<AnalysisData, GtpnError> {
         thread_local! {
             static WORKSPACE: RefCell<SolveWorkspace> = RefCell::new(SolveWorkspace::new());
         }
-        let graph = crate::cache::reachability(net, cfg.state_budget)?;
-        let solution = WORKSPACE
-            .with(|ws| graph.solve_with(cfg.tolerance, cfg.max_sweeps, &mut ws.borrow_mut()))?;
+        let graph = crate::cache::reachability_budgeted(net, cfg.state_budget, par)?;
+        let solution = WORKSPACE.with(|ws| {
+            let mut ws = ws.borrow_mut();
+            if cfg.par_solve {
+                // Red-black: always when configured (the ordering changes
+                // the trajectory, so it must not depend on core
+                // availability), fanning out only when the graph is big
+                // enough to amortize per-sweep thread dispatch.
+                let want = if graph.state_count() >= PAR_SOLVE_MIN_STATES {
+                    usize::MAX
+                } else {
+                    0
+                };
+                let lease = par.claim_extra(want);
+                graph.solve_red_black(cfg.tolerance, cfg.max_sweeps, &mut ws, 1 + lease.extra())
+            } else {
+                graph.solve_with(cfg.tolerance, cfg.max_sweeps, &mut ws)
+            }
+        })?;
         Ok(AnalysisData {
             backend: BackendKind::Exact,
             states: graph.state_count(),
@@ -377,7 +417,12 @@ impl Backend for DesEstimate {
         BackendKind::Des
     }
 
-    fn run(&self, net: &Net, cfg: &EngineConfig) -> Result<AnalysisData, GtpnError> {
+    fn run(
+        &self,
+        net: &Net,
+        cfg: &EngineConfig,
+        _par: &ParallelBudget,
+    ) -> Result<AnalysisData, GtpnError> {
         net.validate()?;
         let batches = cfg.des.batches.max(2);
         let opts = SimOptions {
@@ -464,6 +509,7 @@ fn splitmix64(mut z: u64) -> u64 {
 /// Cache key: canonical fingerprint, backend kind, solver-parameter hash.
 type CacheKey = (u64, BackendKind, u64);
 
+#[derive(Debug)]
 struct CacheEntry {
     /// Canonical form, for equality verification of candidate hits.
     canonical: Net,
@@ -475,6 +521,7 @@ struct CacheEntry {
     last_used: u64,
 }
 
+#[derive(Debug)]
 struct EngineCache {
     map: HashMap<CacheKey, Vec<CacheEntry>>,
     count: usize,
@@ -482,9 +529,28 @@ struct EngineCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    /// Fixed capacity of a per-engine cache; `None` means the process
+    /// cache, which follows the `HSIPC_CACHE_CAP` knob.
+    cap: Option<usize>,
 }
 
 impl EngineCache {
+    fn new(cap: Option<usize>) -> EngineCache {
+        EngineCache {
+            map: HashMap::new(),
+            count: 0,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            cap,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.cap.unwrap_or_else(crate::cache::capacity)
+    }
+
     fn evict_lru(&mut self) {
         let victim = self
             .map
@@ -513,16 +579,7 @@ impl EngineCache {
 
 fn engine_cache() -> &'static Mutex<EngineCache> {
     static CACHE: OnceLock<Mutex<EngineCache>> = OnceLock::new();
-    CACHE.get_or_init(|| {
-        Mutex::new(EngineCache {
-            map: HashMap::new(),
-            count: 0,
-            tick: 0,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
-        })
-    })
+    CACHE.get_or_init(|| Mutex::new(EngineCache::new(None)))
 }
 
 /// Current statistics of the global engine solution cache — the same
@@ -548,10 +605,6 @@ pub fn clear_cache() {
     c.evictions = 0;
 }
 
-fn count_miss() {
-    engine_cache().lock().expect("engine cache poisoned").misses += 1;
-}
-
 // ---------------------------------------------------------------------------
 // The engine.
 // ---------------------------------------------------------------------------
@@ -560,26 +613,88 @@ fn count_miss() {
 #[derive(Debug, Clone, Default)]
 pub struct AnalysisEngine {
     cfg: EngineConfig,
+    /// Core budget for the backends' inner parallelism; `None` means the
+    /// process-global budget ([`ParallelBudget::global`]).
+    budget: Option<Arc<ParallelBudget>>,
+    /// Solution cache; `None` means the process-global one.
+    cache: Option<Arc<Mutex<EngineCache>>>,
 }
 
 impl AnalysisEngine {
     /// An engine with an explicit configuration.
     pub fn new(cfg: EngineConfig) -> AnalysisEngine {
-        AnalysisEngine { cfg }
+        AnalysisEngine {
+            cfg,
+            budget: None,
+            cache: None,
+        }
     }
 
     /// The default configuration with the backend policy taken from
-    /// `HSIPC_BACKEND` ([`BackendSel::from_env`]).
+    /// `HSIPC_BACKEND` ([`BackendSel::from_env`]) and the red-black solver
+    /// opt-in from `HSIPC_PAR_SOLVE` ([`crate::par::par_solve_enabled`]).
     pub fn from_env() -> AnalysisEngine {
         AnalysisEngine::new(EngineConfig {
             backend: BackendSel::from_env(),
+            par_solve: crate::par::par_solve_enabled(),
             ..EngineConfig::default()
         })
+    }
+
+    /// This engine with a dedicated core budget. Nested solvers (the
+    /// §6.6.3 fixed point, tests pinning parallelism) share one budget
+    /// across their engines instead of drawing on the global one.
+    pub fn with_budget(mut self, budget: Arc<ParallelBudget>) -> AnalysisEngine {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// This engine with a private solution cache of `cap` entries (`0`
+    /// disables caching for this engine). Results no longer flow through —
+    /// or count against — the process-global LRU: tests get isolation
+    /// without serializing on the global counters, and nested fixed-point
+    /// solves stop evicting the outer sweep's hot entries.
+    pub fn with_cache(mut self, cap: usize) -> AnalysisEngine {
+        self.cache = Some(Arc::new(Mutex::new(EngineCache::new(Some(cap)))));
+        self
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// The core budget the engine's backends draw extra threads from.
+    pub fn budget(&self) -> &ParallelBudget {
+        match &self.budget {
+            Some(b) => b,
+            None => ParallelBudget::global(),
+        }
+    }
+
+    /// A clone of the budget handle, for passing to sibling engines.
+    pub fn budget_handle(&self) -> Option<Arc<ParallelBudget>> {
+        self.budget.clone()
+    }
+
+    /// The solution cache this engine reads and writes.
+    fn cache_mutex(&self) -> &Mutex<EngineCache> {
+        match &self.cache {
+            Some(c) => c,
+            None => engine_cache(),
+        }
+    }
+
+    /// Statistics of the cache this engine uses (the global one unless
+    /// [`with_cache`](Self::with_cache) was applied).
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        let c = self.cache_mutex().lock().expect("engine cache poisoned");
+        crate::cache::CacheStats {
+            hits: c.hits,
+            misses: c.misses,
+            evictions: c.evictions,
+            entries: c.count,
+        }
     }
 
     /// Hash of the parameters that determine a backend's result, beyond
@@ -593,6 +708,9 @@ impl AnalysisEngine {
             BackendKind::Exact => {
                 self.cfg.tolerance.to_bits().hash(&mut h);
                 self.cfg.max_sweeps.hash(&mut h);
+                // The red-black solver converges to slightly different
+                // bits, so its results must never alias the serial ones.
+                self.cfg.par_solve.hash(&mut h);
             }
             BackendKind::Des => {
                 self.cfg.des.horizon.hash(&mut h);
@@ -608,7 +726,7 @@ impl AnalysisEngine {
     /// the stored analysis came from a different build order.
     fn probe(&self, kind: BackendKind, canon: &Canonical, fp: u64) -> Option<Analysis> {
         let key = (fp, kind, self.params_hash(kind));
-        let mut c = engine_cache().lock().expect("engine cache poisoned");
+        let mut c = self.cache_mutex().lock().expect("engine cache poisoned");
         let stamp = c.tick;
         let budget = self.cfg.state_budget;
         let chain = c.map.get_mut(&key)?;
@@ -631,9 +749,9 @@ impl AnalysisEngine {
     /// Inserts a freshly computed analysis, evicting LRU entries past the
     /// configured capacity.
     fn insert(&self, kind: BackendKind, canon: &Canonical, fp: u64, data: &Arc<AnalysisData>) {
-        let cap = crate::cache::capacity();
         let key = (fp, kind, self.params_hash(kind));
-        let mut c = engine_cache().lock().expect("engine cache poisoned");
+        let mut c = self.cache_mutex().lock().expect("engine cache poisoned");
+        let cap = c.capacity();
         while c.count >= cap {
             c.evict_lru();
         }
@@ -652,7 +770,15 @@ impl AnalysisEngine {
     /// Runs `backend` on the original net (cache-bypassing core; the miss
     /// is counted by the caller).
     fn run_fresh(&self, backend: &dyn Backend, net: &Net) -> Result<Arc<AnalysisData>, GtpnError> {
-        backend.run(net, &self.cfg).map(Arc::new)
+        backend.run(net, &self.cfg, self.budget()).map(Arc::new)
+    }
+
+    /// Counts a miss on this engine's cache.
+    fn count_miss(&self) {
+        self.cache_mutex()
+            .lock()
+            .expect("engine cache poisoned")
+            .misses += 1;
     }
 
     /// Analyzes `net` under the engine's policy; see the module docs.
@@ -663,14 +789,18 @@ impl AnalysisEngine {
     /// [`GtpnError::StateSpaceExceeded`] from the exact path triggers the
     /// DES fallback instead of being returned.
     pub fn analyze(&self, net: &Net) -> Result<Analysis, GtpnError> {
-        if crate::cache::capacity() == 0 {
-            count_miss();
+        let cache_off = {
+            let c = self.cache_mutex().lock().expect("engine cache poisoned");
+            c.capacity() == 0
+        };
+        if cache_off {
+            self.count_miss();
             return match self.cfg.backend {
                 BackendSel::Exact => self.run_fresh(&ExactMarkov, net).map(Analysis::identity),
                 BackendSel::Des => self.run_fresh(&DesEstimate, net).map(Analysis::identity),
                 BackendSel::Auto => match self.run_fresh(&ExactMarkov, net) {
                     Err(GtpnError::StateSpaceExceeded { .. }) => {
-                        count_miss();
+                        self.count_miss();
                         self.run_fresh(&DesEstimate, net).map(Analysis::identity)
                     }
                     other => other.map(Analysis::identity),
@@ -681,7 +811,7 @@ impl AnalysisEngine {
         let canon = canonical::canonicalize(net);
         let fp = canonical::fingerprint_canonical(&canon.net);
         let solve_cached = |backend: &dyn Backend| -> Result<Analysis, GtpnError> {
-            count_miss();
+            self.count_miss();
             let data = self.run_fresh(backend, net)?;
             self.insert(backend.kind(), &canon, fp, &data);
             Ok(Analysis::identity(data))
@@ -875,6 +1005,7 @@ mod tests {
                     warmup: 6_000,
                     batches: 3,
                 },
+                par_solve: false,
             })
         };
         // Budget exactly at the state count: exact backend.
@@ -941,6 +1072,51 @@ mod tests {
             "tolerance is part of the key"
         );
         assert!(a.resource_usage("lambda").is_ok() && b.resource_usage("lambda").is_ok());
+    }
+
+    #[test]
+    fn par_solve_agrees_with_serial_and_keys_separately() {
+        let _gate = crate::test_serial();
+        clear_cache();
+        let net = geo(10.0);
+        let serial = exact_engine().analyze(&net).unwrap();
+        let rb_engine = AnalysisEngine::new(EngineConfig {
+            par_solve: true,
+            ..exact_engine().config().clone()
+        });
+        let before = cache_stats();
+        let rb = rb_engine.analyze(&net).unwrap();
+        assert_eq!(
+            cache_stats().misses,
+            before.misses + 1,
+            "par_solve must be part of the cache key"
+        );
+        let a = serial.resource_usage("lambda").unwrap();
+        let b = rb.resource_usage("lambda").unwrap();
+        assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+    }
+
+    #[test]
+    fn private_cache_is_isolated_from_the_global_one() {
+        let _gate = crate::test_serial();
+        clear_cache();
+        let engine = exact_engine().with_cache(8);
+        let net = geo(11.0);
+        let global_before = cache_stats();
+        engine.analyze(&net).unwrap();
+        engine.analyze(&net).unwrap();
+        let s = engine.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        let global_after = cache_stats();
+        assert_eq!(global_after.hits, global_before.hits);
+        assert_eq!(global_after.misses, global_before.misses);
+        // Capacity 0 disables caching for this engine alone.
+        let off = exact_engine().with_cache(0);
+        off.analyze(&net).unwrap();
+        off.analyze(&net).unwrap();
+        let s = off.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 0));
+        assert_eq!(cache_stats().misses, global_after.misses);
     }
 
     #[test]

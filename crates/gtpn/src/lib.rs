@@ -80,6 +80,7 @@ pub mod dot;
 pub mod engine;
 pub mod geometric;
 pub mod invariant;
+pub mod par;
 pub mod parse;
 pub mod sim;
 
@@ -87,6 +88,7 @@ pub use engine::{Analysis, AnalysisEngine, BackendKind, BackendSel, DesOptions, 
 pub use error::GtpnError;
 pub use expr::{EvalContext, Expr};
 pub use net::{Net, PlaceId, TransId, Transition};
+pub use par::ParallelBudget;
 pub use reach::ReachabilityGraph;
 pub use solve::{Solution, SolveWorkspace};
 pub use state::{Marking, State};

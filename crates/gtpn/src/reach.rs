@@ -23,9 +23,11 @@
 use crate::error::GtpnError;
 use crate::expr::EvalContext;
 use crate::net::{Net, TransId};
+use crate::par::ParallelBudget;
 use crate::solve::Solution;
 use crate::state::{Marking, State};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
 
 /// Maximum number of sequential selection rounds inside one instantaneous
 /// phase before we declare a zero-delay divergence.
@@ -34,6 +36,14 @@ const MAX_PHASE_ROUNDS: usize = 10_000;
 /// Probability mass below which a branch is dropped (guards against floating
 /// point dust; exact zero frequencies never reach this point).
 const PROB_FLOOR: f64 = 1e-300;
+
+/// Frontier width below which a level is always expanded serially — the
+/// per-state work (~tens of µs) cannot amortize worker dispatch on a
+/// narrow level.
+const PAR_MIN_FRONTIER: usize = 64;
+
+/// Target states per self-scheduled work chunk in a parallel level.
+const PAR_CHUNK: usize = 16;
 
 /// The embedded Markov chain over tangible states of a [`Net`].
 #[derive(Debug, Clone)]
@@ -63,15 +73,38 @@ impl Net {
     /// * [`GtpnError::BadFrequency`] if a frequency expression evaluates to
     ///   a negative or non-finite value.
     pub fn reachability(&self, max_states: usize) -> Result<ReachabilityGraph, GtpnError> {
+        self.reachability_budgeted(max_states, &ParallelBudget::serial())
+    }
+
+    /// As [`reachability`](Self::reachability), expanding wide BFS frontiers
+    /// on extra worker threads claimed from `par`.
+    ///
+    /// Workers expand disjoint chunks of a frontier level into thread-local
+    /// buffers; the results are then merged *in frontier order*, interning
+    /// each state's successor distribution in its deterministic
+    /// (state-key-sorted) order. Discovery order — and therefore state
+    /// numbering, edge lists, sojourns, and every downstream float — is
+    /// byte-identical to the serial build, whatever the budget grants.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`reachability`](Self::reachability); when several
+    /// frontier states fail, the error of the lowest-numbered state is
+    /// reported, as a serial build would.
+    pub fn reachability_budgeted(
+        &self,
+        max_states: usize,
+        par: &ParallelBudget,
+    ) -> Result<ReachabilityGraph, GtpnError> {
         self.validate()?;
         let mut states: Vec<State> = Vec::new();
         let mut index: HashMap<State, usize> = HashMap::new();
         let mut edges: Vec<Vec<(usize, f64)>> = Vec::new();
         let mut sojourn: Vec<u64> = Vec::new();
 
-        // Interns a state; newly discovered states join the worklist because
-        // state index == discovery order and the worklist is processed in
-        // index order.
+        // Interns a state; newly discovered states join the next frontier
+        // level because state index == discovery order and levels are
+        // merged in index order.
         let intern = |s: State,
                       states: &mut Vec<State>,
                       index: &mut HashMap<State, usize>|
@@ -97,36 +130,23 @@ impl Net {
 
         let mut cursor = 0;
         while cursor < states.len() {
-            let si = cursor;
-            cursor += 1;
-            let state = states[si].clone();
-            let dt = match state.time_to_next_completion() {
-                Some(dt) => dt,
-                None => return Err(GtpnError::Deadlock { state: si }),
-            };
-            debug_assert_eq!(edges.len(), si);
-            sojourn.push(dt);
-
-            // Advance time: completing firings deposit outputs.
-            let mut marking = state.marking.clone();
-            let mut remaining: Vec<(TransId, u64)> = Vec::new();
-            for &(t, r) in &state.firings {
-                if r == dt {
-                    for &(p, m) in &self.transitions[t.0].outputs {
-                        marking[p.0] += m;
-                    }
-                } else {
-                    remaining.push((t, r - dt));
+            let level_end = states.len();
+            let expanded = expand_level(self, &states[cursor..level_end], cursor, par, &mut fired);
+            // Deterministic reduction: successors are interned strictly in
+            // frontier order, so numbering matches a serial build and the
+            // first in-order error is the one a serial build would hit.
+            for (si, result) in (cursor..level_end).zip(expanded) {
+                let (dt, dist) = result?;
+                debug_assert_eq!(edges.len(), si);
+                sojourn.push(dt);
+                let mut out: Vec<(usize, f64)> = Vec::with_capacity(dist.len());
+                for (s, p) in dist {
+                    let j = intern(s, &mut states, &mut index)?;
+                    out.push((j, p));
                 }
+                edges.push(out);
             }
-
-            let dist = instantaneous_phase(self, marking, remaining, &mut fired)?;
-            let mut out: Vec<(usize, f64)> = Vec::with_capacity(dist.len());
-            for (s, p) in dist {
-                let j = intern(s, &mut states, &mut index)?;
-                out.push((j, p));
-            }
-            edges.push(out);
+            cursor = level_end;
         }
 
         Ok(ReachabilityGraph {
@@ -137,6 +157,115 @@ impl Net {
             fired,
         })
     }
+}
+
+/// One frontier state's expansion: its sojourn time and successor
+/// distribution (in deterministic state-key order).
+type Expansion = Result<(u64, Vec<(State, f64)>), GtpnError>;
+
+/// A self-scheduled unit of frontier work: the absolute index of the
+/// chunk's first state, the states to expand, and the disjoint output
+/// slots their expansions land in.
+type LevelChunk<'a, 'b> = (usize, &'a [State], &'b mut [Option<Expansion>]);
+
+/// Expands one tangible state: advance time by its sojourn, then run the
+/// instantaneous phase. Pure per-state work — safe to run on any thread.
+fn expand_state(net: &Net, si: usize, state: &State, fired: &mut [bool]) -> Expansion {
+    let dt = match state.time_to_next_completion() {
+        Some(dt) => dt,
+        None => return Err(GtpnError::Deadlock { state: si }),
+    };
+    // Advance time: completing firings deposit outputs.
+    let mut marking = state.marking.clone();
+    let mut remaining: Vec<(TransId, u64)> = Vec::new();
+    for &(t, r) in &state.firings {
+        if r == dt {
+            for &(p, m) in &net.transitions[t.0].outputs {
+                marking[p.0] += m;
+            }
+        } else {
+            remaining.push((t, r - dt));
+        }
+    }
+    let dist = instantaneous_phase(net, marking, remaining, fired)?;
+    Ok((dt, dist))
+}
+
+/// Expands every state of one frontier level, on worker threads when the
+/// level is wide and `par` grants cores. `out[i]` is always the expansion
+/// of `level[i]` (absolute index `base + i`), whichever thread produced
+/// it; `fired` accumulates the union of every worker's firing record
+/// (commutative, so merge order cannot matter).
+fn expand_level(
+    net: &Net,
+    level: &[State],
+    base: usize,
+    par: &ParallelBudget,
+    fired: &mut [bool],
+) -> Vec<Expansion> {
+    let lease = if level.len() >= PAR_MIN_FRONTIER {
+        par.claim_extra(level.len() / (2 * PAR_CHUNK))
+    } else {
+        par.claim_extra(0)
+    };
+    let workers = 1 + lease.extra();
+    if workers == 1 {
+        return level
+            .iter()
+            .enumerate()
+            .map(|(i, s)| expand_state(net, base + i, s, fired))
+            .collect();
+    }
+
+    // Self-scheduling chunks: slot chunks are disjoint `&mut` slices, so a
+    // worker writes its results straight into the shared output vector.
+    let chunk = level.len().div_ceil(workers * 4).max(PAR_CHUNK);
+    let mut slots: Vec<Option<Expansion>> = Vec::with_capacity(level.len());
+    slots.resize_with(level.len(), || None);
+    {
+        let work: Mutex<Vec<LevelChunk<'_, '_>>> = Mutex::new(
+            level
+                .chunks(chunk)
+                .zip(slots.chunks_mut(chunk))
+                .enumerate()
+                .map(|(ci, (ss, os))| (base + ci * chunk, ss, os))
+                .collect(),
+        );
+        let run = |fired: &mut [bool]| loop {
+            let item = work.lock().expect("level work queue poisoned").pop();
+            let Some((start, ss, os)) = item else { break };
+            for (i, (s, slot)) in ss.iter().zip(os.iter_mut()).enumerate() {
+                *slot = Some(expand_state(net, start + i, s, fired));
+            }
+        };
+        let tcount = fired.len();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..lease.extra())
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local = vec![false; tcount];
+                        run(&mut local);
+                        local
+                    })
+                })
+                .collect();
+            run(fired);
+            for h in handles {
+                match h.join() {
+                    Ok(local) => {
+                        for (f, l) in fired.iter_mut().zip(local) {
+                            *f |= l;
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every frontier state expanded"))
+        .collect()
 }
 
 impl ReachabilityGraph {
@@ -194,6 +323,27 @@ impl ReachabilityGraph {
         workspace: &mut crate::solve::SolveWorkspace,
     ) -> Result<Solution, GtpnError> {
         Solution::solve_with(self, tolerance, max_sweeps, workspace)
+    }
+
+    /// Red-black ordered solve, the opt-in parallel variant behind
+    /// `HSIPC_PAR_SOLVE=1`: both colors update from a frozen copy of the
+    /// previous sweep, so the color batches fan out over `workers` threads
+    /// with results **independent of the worker count**. Agrees with
+    /// [`solve`](Self::solve) to solver tolerance (the iteration
+    /// trajectories differ), not bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GtpnError::NoConvergence`] when the sweeps do not reach
+    /// `tolerance` within `max_sweeps`.
+    pub fn solve_red_black(
+        &self,
+        tolerance: f64,
+        max_sweeps: usize,
+        workspace: &mut crate::solve::SolveWorkspace,
+        workers: usize,
+    ) -> Result<Solution, GtpnError> {
+        Solution::solve_red_black_with(self, tolerance, max_sweeps, workspace, workers)
     }
 
     /// The maximum reachable token count of `place` — its bound. A net is
@@ -532,6 +682,68 @@ mod tests {
         assert_eq!(g.place_bound(host), 0, "the Host token is always in use");
         assert_eq!(g.place_bound(c), 0);
         assert_eq!(g.dead_transitions(), vec![TransId(1)]);
+    }
+
+    /// A budgeted build with many logical workers is byte-identical to the
+    /// serial build — numbering, edges (bit-for-bit floats), sojourns and
+    /// the fired record all match, and errors agree too.
+    #[test]
+    fn budgeted_build_is_byte_identical() {
+        // A net wide enough to cross PAR_MIN_FRONTIER: several independent
+        // geometric stages multiply the frontier width.
+        let mut net = Net::new("wide");
+        for k in 0..4 {
+            let p = net.add_place(format!("P{k}"), 1);
+            let q = net.add_place(format!("Q{k}"), 0);
+            net.add_transition(
+                Transition::new(format!("exit{k}"))
+                    .delay(1 + k as u64)
+                    .frequency(Expr::constant(0.3))
+                    .input(p, 1)
+                    .output(q, 1),
+            )
+            .unwrap();
+            net.add_transition(
+                Transition::new(format!("loop{k}"))
+                    .delay(1)
+                    .frequency(Expr::constant(0.7))
+                    .input(p, 1)
+                    .output(p, 1),
+            )
+            .unwrap();
+            net.add_transition(
+                Transition::new(format!("recycle{k}"))
+                    .delay(0)
+                    .input(q, 1)
+                    .output(p, 1),
+            )
+            .unwrap();
+        }
+        let serial = net.reachability(100_000).unwrap();
+        assert!(
+            serial.state_count() > PAR_MIN_FRONTIER,
+            "test net too small ({} states) to exercise the parallel path",
+            serial.state_count()
+        );
+        let budget = crate::ParallelBudget::new(8);
+        let par = net.reachability_budgeted(100_000, &budget).unwrap();
+        assert_eq!(serial.states, par.states);
+        assert_eq!(serial.sojourn, par.sojourn);
+        assert_eq!(serial.fired, par.fired);
+        assert_eq!(serial.edges.len(), par.edges.len());
+        for (a, b) in serial.edges.iter().zip(&par.edges) {
+            assert_eq!(a.len(), b.len());
+            for (&(i, p), &(j, q)) in a.iter().zip(b) {
+                assert_eq!(i, j);
+                assert_eq!(p.to_bits(), q.to_bits(), "edge probability drifted");
+            }
+        }
+        // The budget is fully released afterwards.
+        assert_eq!(budget.available(), 7);
+        // Budget errors match the serial error too.
+        let serr = net.reachability(50).unwrap_err();
+        let perr = net.reachability_budgeted(50, &budget).unwrap_err();
+        assert_eq!(serr, perr);
     }
 
     /// Heterogeneous delays: a 3-tick and a 2-tick transition interleave.

@@ -101,6 +101,7 @@ pub fn default_engine() -> &'static AnalysisEngine {
             max_sweeps: MAX_SWEEPS,
             state_budget: STATE_BUDGET,
             des: DesOptions::default(),
+            par_solve: gtpn::par::par_solve_enabled(),
         })
     })
 }

@@ -93,11 +93,21 @@ pub fn solve_with_hosts_in(
     let mut delta = f64::INFINITY;
 
     for it in 1..=MAX_ITERATIONS {
-        let cl = client::solve_with_hosts_in(engine, arch, n, s_d, hosts)?;
+        // The client solve (parameterized by s_d) and the server probe
+        // (parameterized by the *previous* c_d) are independent within an
+        // iteration — run them concurrently when the engine's core budget
+        // has room. join2 returns identical results either way, so the
+        // fixed-point trajectory does not depend on thread availability.
+        let (cl, sv_probe) = gtpn::par::join2(
+            engine.budget(),
+            || client::solve_with_hosts_in(engine, arch, n, s_d, hosts),
+            || server::solve_with_hosts_in(engine, arch, n, x_us, c_d.max(1.0), hosts),
+        );
+        let cl = cl?;
+        let sv_probe = sv_probe?;
         let c_d_prime = cl.cycle_us - s_d;
         last_client = Some(cl);
 
-        let sv_probe = server::solve_with_hosts_in(engine, arch, n, x_us, c_d.max(1.0), hosts)?;
         c_d = (c_d_prime - sv_probe.s_c_us).max(1.0);
         let sv = server::solve_with_hosts_in(engine, arch, n, x_us, c_d, hosts)?;
         let s_d_new = sv.s_d_us + outside;

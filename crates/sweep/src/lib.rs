@@ -15,10 +15,16 @@
 //! * [`point_seed`] — deterministic RNG seeds derived from grid
 //!   coordinates, so DES replications are reproducible run-to-run no matter
 //!   which worker executes them or in what order;
-//! * [`ExecMode`] / [`thread_count`] — environment-controlled execution
-//!   policy: `HSIPC_SWEEP=seq` forces the sequential path, and
-//!   `RAYON_NUM_THREADS` (rayon's conventional knob) or
-//!   `HSIPC_SWEEP_THREADS` sets the worker count.
+//! * [`ExecMode`] / [`threads`] — environment-controlled execution policy:
+//!   `HSIPC_SWEEP=<n>` sets the worker count (`1`, `seq` or `sequential`
+//!   force the sequential path), falling back to `RAYON_NUM_THREADS`
+//!   (rayon's conventional knob), then `HSIPC_SWEEP_THREADS`, then the
+//!   machine's available parallelism. The policy lives in [`gtpn::par`] so
+//!   the solver's inner parallelism reads the very same knobs — and both
+//!   layers draw threads from one [`gtpn::ParallelBudget`]: each pool
+//!   worker registers the core it occupies, so inner loops (frontier
+//!   expansion, red-black sweeps, the §6.6.3 concurrent sub-solves) only
+//!   widen onto cores the pool leaves free.
 //!
 //! Worker panics propagate to the caller — a failing sweep point fails the
 //! whole sweep, as it would sequentially.
@@ -38,34 +44,29 @@ pub enum ExecMode {
     Parallel,
 }
 
-/// The execution mode selected by the environment: `HSIPC_SWEEP=seq`
-/// forces [`ExecMode::Sequential`]; anything else (including unset) is
-/// [`ExecMode::Parallel`].
+/// The execution mode selected by the environment: sequential exactly when
+/// [`threads`] resolves to one worker (`HSIPC_SWEEP=1`, `seq` or
+/// `sequential`, or a single-core default), parallel otherwise.
 pub fn exec_mode() -> ExecMode {
-    match std::env::var("HSIPC_SWEEP") {
-        Ok(v) if v.eq_ignore_ascii_case("seq") || v.eq_ignore_ascii_case("sequential") => {
-            ExecMode::Sequential
-        }
-        _ => ExecMode::Parallel,
+    if threads() <= 1 {
+        ExecMode::Sequential
+    } else {
+        ExecMode::Parallel
     }
 }
 
-/// Worker count for parallel sweeps: `RAYON_NUM_THREADS` if set (rayon's
-/// conventional knob), else `HSIPC_SWEEP_THREADS`, else the machine's
-/// available parallelism.
+/// Worker count for parallel sweeps — the one thread-count policy of the
+/// repository, re-exported from [`gtpn::par::threads`]: `HSIPC_SWEEP` as a
+/// number, then `RAYON_NUM_THREADS`, then `HSIPC_SWEEP_THREADS`, then the
+/// machine's available parallelism.
+pub fn threads() -> usize {
+    gtpn::par::threads()
+}
+
+/// Deprecated name of [`threads`], kept for callers predating the
+/// centralized policy.
 pub fn thread_count() -> usize {
-    for var in ["RAYON_NUM_THREADS", "HSIPC_SWEEP_THREADS"] {
-        if let Ok(v) = std::env::var(var) {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    threads()
 }
 
 /// Order-preserving map over `items` using the environment's execution mode
@@ -76,7 +77,7 @@ where
     O: Send,
     F: Fn(&I) -> O + Sync,
 {
-    map_with(exec_mode(), thread_count(), items, f)
+    map_with(exec_mode(), threads(), items, f)
 }
 
 /// Order-preserving map with explicit mode and thread count — the testable
@@ -103,14 +104,22 @@ where
                 let tx = tx.clone();
                 let next = &next;
                 let f = &f;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let out = f(&items[i]);
-                    if tx.send((i, out)).is_err() {
-                        break;
+                scope.spawn(move || {
+                    // Occupy one core in the shared budget for this
+                    // worker's lifetime: inner solver parallelism only
+                    // widens onto cores the pool leaves free, and as
+                    // workers drain off the end of the grid their cores
+                    // flow to the remaining (big) solves.
+                    let _core = gtpn::ParallelBudget::global().register();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let out = f(&items[i]);
+                        if tx.send((i, out)).is_err() {
+                            break;
+                        }
                     }
                 })
             })
@@ -327,6 +336,32 @@ mod tests {
 
     #[test]
     fn thread_count_is_positive() {
-        assert!(thread_count() >= 1);
+        assert!(threads() >= 1);
+        assert_eq!(threads(), thread_count(), "deprecated alias must agree");
+        // One policy everywhere: the sweep pool and the solver's inner
+        // parallelism must size themselves identically.
+        assert_eq!(threads(), gtpn::par::threads());
+        assert_eq!(
+            exec_mode() == ExecMode::Sequential,
+            threads() <= 1,
+            "mode and worker count must agree"
+        );
+    }
+
+    #[test]
+    fn pool_workers_occupy_the_shared_core_budget() {
+        use std::sync::atomic::AtomicUsize;
+        let items: Vec<usize> = (0..64).collect();
+        let min_in_use = AtomicUsize::new(usize::MAX);
+        let budget = gtpn::ParallelBudget::global();
+        map_with(ExecMode::Parallel, 3, &items, |&x| {
+            // The observing worker itself holds a registered core, so the
+            // shared ledger is never empty from inside the pool. (Other
+            // tests' pools may add to it concurrently; they never
+            // subtract below our own lease.)
+            min_in_use.fetch_min(budget.in_use(), Ordering::Relaxed);
+            x
+        });
+        assert!(min_in_use.load(Ordering::Relaxed) >= 1);
     }
 }
