@@ -34,10 +34,17 @@ fn main() -> ExitCode {
         _ => true,
     });
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: repro [--sequential] [--timing] [list | all | <experiment-id>...]");
+        eprintln!(
+            "usage: repro [--sequential] [--timing] [list | all | live | <experiment-id>...]"
+        );
         eprintln!("experiment ids: table3.1..table3.7, table5.1, table5.2,");
         eprintln!("  table6.1, table6.2, table6.4..table6.25, fig6.7..fig6.23, fig7.1, fig7.scale");
+        eprintln!("live flags: [--arch I|II|III|IV|all] [--nodes N] [--conversations N]");
+        eprintln!("  [--duration-ms N] [--scale F] [--buffers N] [--remote] [--no-json]");
         return ExitCode::from(2);
+    }
+    if args[0] == "live" {
+        return run_live(&args[1..]);
     }
     if args[0] == "list" {
         for e in hsipc::experiments::all() {
@@ -111,6 +118,212 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// `repro live`: executes the requested architectures on real threads
+/// under load and prints the measured throughput and latency. Not part of
+/// `repro all` — live output is wall-clock-dependent, and `repro all`'s
+/// stdout is kept byte-identical for the golden-output check.
+fn run_live(args: &[String]) -> ExitCode {
+    let mut archs: Option<Vec<runtime::Architecture>> = match std::env::var("HSIPC_LIVE_ARCH") {
+        Ok(v) => match parse_archs(&v) {
+            Some(a) => Some(a),
+            None => {
+                eprintln!("HSIPC_LIVE_ARCH: unknown architecture `{v}`");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => None,
+    };
+    let mut base = runtime::Config::from_env(runtime::Architecture::Uniprocessor);
+    let mut json = true;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+                .cloned()
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--arch" => {
+                    let v = value("--arch")?;
+                    archs = Some(parse_archs(&v).ok_or(format!("unknown architecture `{v}`"))?);
+                }
+                "--nodes" => base.nodes = parse(&value("--nodes")?, "--nodes")?,
+                "--conversations" => {
+                    base.conversations = parse(&value("--conversations")?, "--conversations")?;
+                }
+                "--duration-ms" => {
+                    base.duration = std::time::Duration::from_millis(parse(
+                        &value("--duration-ms")?,
+                        "--duration-ms",
+                    )?);
+                }
+                "--scale" => base.scale = parse(&value("--scale")?, "--scale")?,
+                "--buffers" => base.buffers = parse(&value("--buffers")?, "--buffers")?,
+                "--remote" => base.locality = runtime::Locality::NonLocal,
+                "--no-json" => json = false,
+                other => return Err(format!("unknown flag `{other}` (try `repro --help`)")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            eprintln!("repro live: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let archs = archs.unwrap_or_else(|| runtime::Architecture::ALL.to_vec());
+    if base.locality == runtime::Locality::NonLocal && base.nodes < 2 {
+        base.nodes = 2;
+    }
+
+    println!(
+        "live runtime: {} conversation(s)/node x {} node(s), {} traffic, X = {:.0} us, scale {}, {} ms load",
+        base.conversations,
+        base.nodes,
+        match base.locality {
+            runtime::Locality::Local => "local",
+            runtime::Locality::NonLocal => "non-local",
+        },
+        base.server_compute_us,
+        base.scale,
+        base.duration.as_millis(),
+    );
+    println!(
+        "{:<5} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}  shutdown",
+        "arch",
+        "roundtrips",
+        "thru/ms",
+        "mean_us",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+        "max_us",
+        "stalls",
+        "frames"
+    );
+    let mut reports = Vec::with_capacity(archs.len());
+    let mut failed = false;
+    for arch in archs {
+        let mut config = base.clone();
+        config.architecture = arch;
+        let report = runtime::run(&config);
+        println!(
+            "{:<5} {:>11} {:>9.2} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>7} {:>7}  {}",
+            arch.label(),
+            report.round_trips,
+            report.throughput_per_ms,
+            report.latency.mean_us,
+            report.latency.p50_us,
+            report.latency.p95_us,
+            report.latency.p99_us,
+            report.latency.max_us,
+            report.buffer_stalls,
+            report.ring_frames,
+            if report.clean_shutdown {
+                "clean"
+            } else {
+                "UNCLEAN"
+            }
+        );
+        if report.round_trips == 0 || !report.clean_shutdown {
+            failed = true;
+        }
+        reports.push(report);
+    }
+    if json {
+        let out = live_json(&base, &reports);
+        match std::fs::write("BENCH_runtime.json", &out) {
+            Ok(()) => eprintln!("wrote BENCH_runtime.json"),
+            Err(e) => eprintln!("could not write BENCH_runtime.json: {e}"),
+        }
+    }
+    if failed {
+        eprintln!("repro live: an architecture made no progress or shut down unclean");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("{flag}: bad value `{s}`"))
+}
+
+fn parse_archs(s: &str) -> Option<Vec<runtime::Architecture>> {
+    use runtime::Architecture::*;
+    Some(match s {
+        "all" | "ALL" => runtime::Architecture::ALL.to_vec(),
+        "I" | "1" => vec![Uniprocessor],
+        "II" | "2" => vec![MessageCoprocessor],
+        "III" | "3" => vec![SmartBus],
+        "IV" | "4" => vec![PartitionedSmartBus],
+        _ => return None,
+    })
+}
+
+/// The machine-readable `repro live` report.
+fn live_json(base: &runtime::Config, reports: &[runtime::RunReport]) -> String {
+    let mut rows = String::from("[");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(", ");
+        }
+        let _ = write!(
+            rows,
+            concat!(
+                "{{\"architecture\": \"{arch}\", \"round_trips\": {rts}, ",
+                "\"elapsed_seconds\": {elapsed:.4}, ",
+                "\"throughput_per_ms\": {tp:.4}, ",
+                "\"latency_us\": {{\"mean\": {mean:.2}, \"p50\": {p50:.2}, ",
+                "\"p95\": {p95:.2}, \"p99\": {p99:.2}, \"max\": {max:.2}}}, ",
+                "\"buffer_stalls\": {stalls}, \"ring_frames\": {frames}, ",
+                "\"clean_shutdown\": {clean}}}"
+            ),
+            arch = r.architecture.label(),
+            rts = r.round_trips,
+            elapsed = r.elapsed.as_secs_f64(),
+            tp = r.throughput_per_ms,
+            mean = r.latency.mean_us,
+            p50 = r.latency.p50_us,
+            p95 = r.latency.p95_us,
+            p99 = r.latency.p99_us,
+            max = r.latency.max_us,
+            stalls = r.buffer_stalls,
+            frames = r.ring_frames,
+            clean = r.clean_shutdown,
+        );
+    }
+    rows.push(']');
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"hsipc-bench-runtime/v1\",\n",
+            "  \"workload\": {{\n",
+            "    \"nodes\": {nodes},\n",
+            "    \"conversations_per_node\": {convs},\n",
+            "    \"locality\": \"{locality}\",\n",
+            "    \"server_compute_us\": {x},\n",
+            "    \"scale\": {scale},\n",
+            "    \"buffers\": {buffers},\n",
+            "    \"duration_ms\": {dur}\n",
+            "  }},\n",
+            "  \"runs\": {rows}\n",
+            "}}\n",
+        ),
+        nodes = base.nodes,
+        convs = base.conversations,
+        locality = match base.locality {
+            runtime::Locality::Local => "local",
+            runtime::Locality::NonLocal => "non-local",
+        },
+        x = base.server_compute_us,
+        scale = base.scale,
+        buffers = base.buffers,
+        dur = base.duration.as_millis(),
+        rows = rows,
+    )
 }
 
 /// Times one non-local n=4 fixed-point solve under an isolated engine with

@@ -20,6 +20,7 @@
 //! | [`archsim`] | Discrete-event simulation of Architectures I–IV under the paper's measured activity costs |
 //! | [`models`] | The Chapter 6 GTPN models: local, non-local (iterative client/server), contention, offered loads, validation |
 //! | [`profiler`] | The Chapter 3 profiling study: synthetic Charlotte/Jasmin/925/Unix kernels under the §3.3 harness |
+//! | [`runtime`] | Live node runtime: real host/MP threads per node driving the kernel through shared atomic queues under load |
 //! | [`sweep`] | Parallel experiment/sweep engine: order-preserving grid evaluation, deterministic per-point seeding |
 //! | [`experiments`] | Regeneration of every table and figure in the evaluation |
 //!
@@ -52,6 +53,7 @@ pub use models;
 pub use msgkernel;
 pub use netsim;
 pub use profiler;
+pub use runtime;
 pub use smartbus;
 pub use smartmem;
 pub use sweep;

@@ -14,6 +14,41 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BufferId(pub u32);
 
+/// A kernel-buffer free list.
+///
+/// The default [`BufferPool`] is an in-process deque; the live runtime
+/// substitutes a free list backed by `smartmem`'s shared queue
+/// transactions, so buffer acquisition is a real atomic operation on the
+/// shared module (§5.1 keeps the free-buffer list in shared memory).
+pub trait BufferQueue: Send + std::fmt::Debug {
+    /// Total buffers in the pool.
+    fn capacity(&self) -> usize;
+    /// Currently free buffers.
+    fn available(&self) -> usize;
+    /// Takes the first free buffer, or `None` when exhausted.
+    fn acquire(&mut self) -> Option<BufferId>;
+    /// Returns a buffer to the free list.
+    fn release(&mut self, buffer: BufferId);
+}
+
+impl BufferQueue for BufferPool {
+    fn capacity(&self) -> usize {
+        BufferPool::capacity(self)
+    }
+
+    fn available(&self) -> usize {
+        BufferPool::available(self)
+    }
+
+    fn acquire(&mut self) -> Option<BufferId> {
+        BufferPool::acquire(self)
+    }
+
+    fn release(&mut self, buffer: BufferId) {
+        BufferPool::release(self, buffer)
+    }
+}
+
 /// A bounded pool of kernel message buffers with a free list.
 #[derive(Debug, Clone)]
 pub struct BufferPool {

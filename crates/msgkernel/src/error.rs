@@ -14,6 +14,13 @@ pub enum KernelError {
     RequestOutstanding(TaskId),
     /// `Receive` without any prior `Offer`.
     NoOffers(TaskId),
+    /// `Offer` of a service the task already offers.
+    DuplicateOffer {
+        /// The offering task.
+        task: TaskId,
+        /// The service offered twice.
+        service: ServiceId,
+    },
     /// `Reply` without a rendezvous in progress.
     NoRendezvous(TaskId),
     /// `MemoryMove` outside the granted segment or without the right.
@@ -36,6 +43,9 @@ impl fmt::Display for KernelError {
                 write!(f, "{t} already has an outstanding request")
             }
             KernelError::NoOffers(t) => write!(f, "{t} posted receive without offers"),
+            KernelError::DuplicateOffer { task, service } => {
+                write!(f, "{task} already offers service {service}")
+            }
             KernelError::NoRendezvous(t) => write!(f, "{t} replied outside a rendezvous"),
             KernelError::AccessViolation { task, reason } => {
                 write!(f, "{task} memory-move access violation: {reason}")

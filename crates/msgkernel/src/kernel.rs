@@ -1,9 +1,10 @@
 //! The IPC kernel: syscalls, rendezvous, the computation/communication
 //! lists, and network packets mirroring IPC calls.
 
-use crate::buffer::{BufferId, BufferPool};
+use crate::buffer::{BufferId, BufferPool, BufferQueue};
 use crate::error::KernelError;
 use crate::message::Message;
+use crate::sched::{PriorityList, SchedQueue};
 use crate::service::{QueuedMessage, ReplyTo, Service, ServiceAddr, ServiceId};
 use crate::task::{NodeId, Task, TaskId, TaskState};
 use std::collections::{HashMap, VecDeque};
@@ -202,13 +203,13 @@ pub struct Kernel {
     node: NodeId,
     tasks: Vec<Option<Task>>,
     services: Vec<Option<Service>>,
-    buffers: BufferPool,
+    buffers: Box<dyn BufferQueue>,
     /// Buffer held by each queued message (accounting).
     held_buffers: HashMap<(ServiceId, u64), BufferId>,
     queue_seq: u64,
     queue_ids: HashMap<ServiceId, VecDeque<u64>>,
-    computation_list: VecDeque<TaskId>,
-    communication_list: VecDeque<TaskId>,
+    computation_list: Box<dyn SchedQueue>,
+    communication_list: Box<dyn SchedQueue>,
     requests: HashMap<TaskId, Syscall>,
     rendezvous: HashMap<TaskId, RendezvousInfo>,
     /// Sends blocked on buffer shortage, retried as buffers free.
@@ -228,16 +229,34 @@ pub struct Kernel {
 impl Kernel {
     /// Creates a kernel for `node` with `buffer_capacity` kernel buffers.
     pub fn new(node: NodeId, buffer_capacity: usize) -> Kernel {
+        Kernel::with_queues(
+            node,
+            Box::new(BufferPool::new(buffer_capacity)),
+            Box::new(PriorityList::default()),
+            Box::new(PriorityList::default()),
+        )
+    }
+
+    /// Creates a kernel whose buffer free list and scheduling lists are
+    /// supplied by the caller — the live runtime passes queues backed by
+    /// `smartmem`'s shared transactions so host and MP threads synchronize
+    /// through real shared memory (Figures 4.4/4.5).
+    pub fn with_queues(
+        node: NodeId,
+        buffers: Box<dyn BufferQueue>,
+        computation: Box<dyn SchedQueue>,
+        communication: Box<dyn SchedQueue>,
+    ) -> Kernel {
         Kernel {
             node,
             tasks: Vec::new(),
             services: Vec::new(),
-            buffers: BufferPool::new(buffer_capacity),
+            buffers,
             held_buffers: HashMap::new(),
             queue_seq: 0,
             queue_ids: HashMap::new(),
-            computation_list: VecDeque::new(),
-            communication_list: VecDeque::new(),
+            computation_list: computation,
+            communication_list: communication,
             requests: HashMap::new(),
             rendezvous: HashMap::new(),
             resource_waiters: VecDeque::new(),
@@ -263,7 +282,7 @@ impl Kernel {
     pub fn create_task(&mut self, name: impl Into<String>, priority: u8, space: usize) -> TaskId {
         self.tasks.push(Some(Task::new(name, priority, space)));
         let id = TaskId(self.tasks.len() as u32 - 1);
-        self.computation_list.push_back(id);
+        self.computation_list.push_back(id, priority);
         id
     }
 
@@ -347,16 +366,6 @@ impl Kernel {
         self.task(task).map(|t| t.priority).unwrap_or(0)
     }
 
-    /// Position at which `task` joins a priority-ordered list: before the
-    /// first lower-priority entry, after equals — §4.4: "the lists are
-    /// ordered by task scheduling priority" (FCFS among equals).
-    fn priority_position(&self, list: &VecDeque<TaskId>, task: TaskId) -> usize {
-        let p = self.priority_of(task);
-        list.iter()
-            .position(|&t| self.priority_of(t) < p)
-            .unwrap_or(list.len())
-    }
-
     /// Host side: the task issues a communication request and moves to the
     /// communication list (Figure 4.4).
     ///
@@ -364,16 +373,28 @@ impl Kernel {
     ///
     /// [`KernelError::UnknownTask`] or [`KernelError::RequestOutstanding`].
     pub fn submit(&mut self, task: TaskId, request: Syscall) -> Result<(), KernelError> {
+        self.place_request(task, request)?;
+        let p = self.priority_of(task);
+        self.communication_list.insert_by_priority(task, p);
+        Ok(())
+    }
+
+    /// Records a task's pending request and marks it communicating
+    /// *without* touching the communication list. The live runtime's host
+    /// threads enqueue the TCB on the shared communication queue themselves
+    /// (the §4.4 host side of Figure 4.4); the MP pops the queue and calls
+    /// this before [`Kernel::process`].
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::UnknownTask`] or [`KernelError::RequestOutstanding`].
+    pub fn place_request(&mut self, task: TaskId, request: Syscall) -> Result<(), KernelError> {
         if self.requests.contains_key(&task) {
             return Err(KernelError::RequestOutstanding(task));
         }
         let t = self.task_mut(task)?;
         t.state = TaskState::Communicating;
         self.requests.insert(task, request);
-        let list = std::mem::take(&mut self.communication_list);
-        let pos = self.priority_position(&list, task);
-        self.communication_list = list;
-        self.communication_list.insert(pos, task);
         Ok(())
     }
 
@@ -423,7 +444,8 @@ impl Kernel {
     /// [`KernelError::UnknownTask`] for a dead task.
     pub fn push_computation(&mut self, task: TaskId) -> Result<(), KernelError> {
         self.task(task)?;
-        self.computation_list.push_back(task);
+        let p = self.priority_of(task);
+        self.computation_list.push_back(task, p);
         Ok(())
     }
 
@@ -431,10 +453,8 @@ impl Kernel {
         if let Ok(t) = self.task_mut(task) {
             t.state = TaskState::Computing;
         }
-        let list = std::mem::take(&mut self.computation_list);
-        let pos = self.priority_position(&list, task);
-        self.computation_list = list;
-        self.computation_list.insert(pos, task);
+        let p = self.priority_of(task);
+        self.computation_list.insert_by_priority(task, p);
         events.push(KernelEvent::Runnable(task));
     }
 
@@ -467,7 +487,11 @@ impl Kernel {
             Syscall::Reply { message } => self.do_reply(task, message, &mut events)?,
             Syscall::Offer { service } => {
                 self.service_mut(service)?;
-                self.task_mut(task)?.offers.push(service);
+                let t = self.task_mut(task)?;
+                if t.offers.contains(&service) {
+                    return Err(KernelError::DuplicateOffer { task, service });
+                }
+                t.offers.push(service);
                 self.make_runnable(task, &mut events);
             }
             Syscall::Inquire => {
@@ -683,7 +707,8 @@ impl Kernel {
             let Some(task) = self.resource_waiters.pop_front() else {
                 break;
             };
-            self.communication_list.push_front(task);
+            let p = self.priority_of(task);
+            self.communication_list.push_front(task, p);
             if let Ok(t) = self.task_mut(task) {
                 t.state = TaskState::Communicating;
             }
@@ -977,8 +1002,8 @@ impl Kernel {
         self.task(task)?;
         let mut events = Vec::new();
         // Off both scheduling lists (the Dequeue primitive's job in §5.1).
-        self.computation_list.retain(|&t| t != task);
-        self.communication_list.retain(|&t| t != task);
+        self.computation_list.remove(task);
+        self.communication_list.remove(task);
         self.resource_waiters.retain(|&t| t != task);
         self.requests.remove(&task);
         self.completions.remove(&task);

@@ -36,14 +36,16 @@ mod buffer;
 mod error;
 mod kernel;
 mod message;
+mod sched;
 mod service;
 mod task;
 
-pub use buffer::BufferPool;
+pub use buffer::{BufferId, BufferPool, BufferQueue};
 pub use error::KernelError;
 pub use kernel::{
     Kernel, KernelEvent, KernelStats, MoveDirection, Packet, PacketBody, SendMode, Syscall,
 };
 pub use message::{AccessRights, MemoryRef, Message, MESSAGE_SIZE};
+pub use sched::{PriorityList, SchedQueue};
 pub use service::{ServiceAddr, ServiceId};
 pub use task::{NodeId, Task, TaskId, TaskState};

@@ -1,0 +1,111 @@
+//! Pluggable task-scheduling lists.
+//!
+//! The kernel keeps two lists of task control blocks — the computation list
+//! and the communication list (Figures 4.4/4.5). In the functional and
+//! discrete-event simulations those are in-process priority lists; in the
+//! live runtime they are *real shared-memory queues* raced by the host and
+//! MP threads. [`SchedQueue`] abstracts over both: [`crate::Kernel::new`]
+//! installs the default [`PriorityList`] (behaviorally identical to the
+//! original kernel), [`crate::Kernel::with_queues`] lets a runtime supply
+//! queues backed by `smartmem`'s shared transactions.
+
+use crate::task::TaskId;
+use std::collections::VecDeque;
+
+/// A task-control-block scheduling list.
+///
+/// The kernel passes each task's priority alongside its id so that
+/// implementations may honor §4.4 ordering ("the lists are ordered by task
+/// scheduling priority", FCFS among equals); hardware-backed queues whose
+/// `Enqueue` transaction only appends at the tail may ignore it.
+pub trait SchedQueue: Send + std::fmt::Debug {
+    /// Priority-ordered insert: before the first strictly-lower-priority
+    /// entry, after all equals.
+    fn insert_by_priority(&mut self, task: TaskId, priority: u8);
+    /// Plain tail append.
+    fn push_back(&mut self, task: TaskId, priority: u8);
+    /// Head insert — the buffer-shortage retry path, which must run before
+    /// new work (§3.2.3).
+    fn push_front(&mut self, task: TaskId, priority: u8);
+    /// Removes and returns the head, if any.
+    fn pop_front(&mut self) -> Option<TaskId>;
+    /// Removes `task` wherever it sits (task destruction).
+    fn remove(&mut self, task: TaskId);
+    /// Whether the list is empty.
+    fn is_empty(&self) -> bool;
+}
+
+/// The default in-process list: a deque of `(task, priority)` pairs.
+#[derive(Debug, Default)]
+pub struct PriorityList {
+    entries: VecDeque<(TaskId, u8)>,
+}
+
+impl SchedQueue for PriorityList {
+    fn insert_by_priority(&mut self, task: TaskId, priority: u8) {
+        let pos = self
+            .entries
+            .iter()
+            .position(|&(_, p)| p < priority)
+            .unwrap_or(self.entries.len());
+        self.entries.insert(pos, (task, priority));
+    }
+
+    fn push_back(&mut self, task: TaskId, priority: u8) {
+        self.entries.push_back((task, priority));
+    }
+
+    fn push_front(&mut self, task: TaskId, priority: u8) {
+        self.entries.push_front((task, priority));
+    }
+
+    fn pop_front(&mut self) -> Option<TaskId> {
+        self.entries.pop_front().map(|(t, _)| t)
+    }
+
+    fn remove(&mut self, task: TaskId) {
+        self.entries.retain(|&(t, _)| t != task);
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_insert_is_fcfs_among_equals() {
+        let mut l = PriorityList::default();
+        l.insert_by_priority(TaskId(0), 1);
+        l.insert_by_priority(TaskId(1), 1);
+        l.insert_by_priority(TaskId(2), 5);
+        l.insert_by_priority(TaskId(3), 5);
+        l.insert_by_priority(TaskId(4), 3);
+        let got: Vec<TaskId> = std::iter::from_fn(|| l.pop_front()).collect();
+        assert_eq!(
+            got,
+            vec![TaskId(2), TaskId(3), TaskId(4), TaskId(0), TaskId(1)]
+        );
+    }
+
+    #[test]
+    fn push_front_jumps_the_queue() {
+        let mut l = PriorityList::default();
+        l.insert_by_priority(TaskId(0), 9);
+        l.push_front(TaskId(1), 1);
+        assert_eq!(l.pop_front(), Some(TaskId(1)));
+    }
+
+    #[test]
+    fn remove_deletes_all_occurrences() {
+        let mut l = PriorityList::default();
+        l.push_back(TaskId(0), 1);
+        l.push_back(TaskId(1), 1);
+        l.remove(TaskId(0));
+        assert_eq!(l.pop_front(), Some(TaskId(1)));
+        assert!(l.is_empty());
+    }
+}

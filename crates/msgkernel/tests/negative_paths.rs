@@ -1,0 +1,267 @@
+//! Negative-path kernel tests: the validity checks the profiling chapters
+//! charge to "checking, addressing, and control block manipulation" must
+//! reflect the *specific* error for each misuse.
+
+use msgkernel::{
+    AccessRights, Kernel, KernelError, MemoryRef, Message, MoveDirection, NodeId, SendMode,
+    ServiceAddr, Syscall, TaskId,
+};
+
+fn kernel() -> Kernel {
+    Kernel::new(NodeId(0), 8)
+}
+
+/// Processes every pending communication request, panicking on error.
+fn drain(k: &mut Kernel) {
+    while let Some(t) = k.next_communication() {
+        k.process(t).unwrap();
+    }
+}
+
+/// Processes the next request and returns its error.
+fn process_err(k: &mut Kernel) -> KernelError {
+    let t = k.next_communication().expect("a request is pending");
+    k.process(t).unwrap_err()
+}
+
+/// Puts `server` into a rendezvous with a client whose message carries
+/// `mref`.
+fn rendezvous_with(k: &mut Kernel, mref: Option<MemoryRef>) -> (TaskId, TaskId) {
+    let client = k.create_task("client", 1, 256);
+    let server = k.create_task("server", 1, 256);
+    let svc = k.create_service("s");
+    k.submit(server, Syscall::Offer { service: svc }).unwrap();
+    drain(k);
+    k.submit(server, Syscall::Receive).unwrap();
+    drain(k);
+    let mut msg = Message::from_bytes(b"req");
+    if let Some(m) = mref {
+        msg = msg.with_memory_ref(m);
+    }
+    k.submit(
+        client,
+        Syscall::Send {
+            to: ServiceAddr {
+                node: k.node(),
+                service: svc,
+            },
+            message: msg,
+            mode: SendMode::invocation(),
+        },
+    )
+    .unwrap();
+    drain(k);
+    (client, server)
+}
+
+#[test]
+fn memory_move_offset_outside_client_space_is_access_violation() {
+    let mut k = kernel();
+    // The granted segment starts beyond the 256-byte client space.
+    let (_, server) = rendezvous_with(
+        &mut k,
+        Some(MemoryRef {
+            offset: 1_000,
+            length: 64,
+            rights: AccessRights::read_write(),
+        }),
+    );
+    k.submit(
+        server,
+        Syscall::MemoryMove {
+            direction: MoveDirection::FromClient,
+            local_offset: 0,
+            length: 64,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        process_err(&mut k),
+        KernelError::AccessViolation {
+            task,
+            reason: "segment outside address space",
+        } if task == server
+    ));
+}
+
+#[test]
+fn memory_move_length_beyond_grant_is_access_violation() {
+    let mut k = kernel();
+    let (_, server) = rendezvous_with(
+        &mut k,
+        Some(MemoryRef {
+            offset: 0,
+            length: 16,
+            rights: AccessRights::read_write(),
+        }),
+    );
+    k.submit(
+        server,
+        Syscall::MemoryMove {
+            direction: MoveDirection::FromClient,
+            local_offset: 0,
+            length: 17,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        process_err(&mut k),
+        KernelError::AccessViolation {
+            reason: "move exceeds granted segment",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn memory_move_local_offset_outside_server_space_is_access_violation() {
+    let mut k = kernel();
+    let (_, server) = rendezvous_with(
+        &mut k,
+        Some(MemoryRef {
+            offset: 0,
+            length: 64,
+            rights: AccessRights::read_write(),
+        }),
+    );
+    // The server's own space is 256 bytes; writing at 250 overruns it.
+    k.submit(
+        server,
+        Syscall::MemoryMove {
+            direction: MoveDirection::FromClient,
+            local_offset: 250,
+            length: 64,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        process_err(&mut k),
+        KernelError::AccessViolation {
+            reason: "segment outside address space",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn memory_move_without_read_right_is_access_violation() {
+    let mut k = kernel();
+    let (_, server) = rendezvous_with(
+        &mut k,
+        Some(MemoryRef {
+            offset: 0,
+            length: 16,
+            rights: AccessRights {
+                read: false,
+                write: true,
+                copy: false,
+            },
+        }),
+    );
+    k.submit(
+        server,
+        Syscall::MemoryMove {
+            direction: MoveDirection::FromClient,
+            local_offset: 0,
+            length: 8,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        process_err(&mut k),
+        KernelError::AccessViolation {
+            reason: "no read right",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn memory_move_without_write_right_is_access_violation() {
+    let mut k = kernel();
+    let (_, server) = rendezvous_with(
+        &mut k,
+        Some(MemoryRef {
+            offset: 0,
+            length: 16,
+            rights: AccessRights::read_only(),
+        }),
+    );
+    k.submit(
+        server,
+        Syscall::MemoryMove {
+            direction: MoveDirection::ToClient,
+            local_offset: 0,
+            length: 8,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        process_err(&mut k),
+        KernelError::AccessViolation {
+            reason: "no write right",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn memory_move_without_enclosed_reference_is_access_violation() {
+    let mut k = kernel();
+    let (_, server) = rendezvous_with(&mut k, None);
+    k.submit(
+        server,
+        Syscall::MemoryMove {
+            direction: MoveDirection::FromClient,
+            local_offset: 0,
+            length: 8,
+        },
+    )
+    .unwrap();
+    assert!(matches!(
+        process_err(&mut k),
+        KernelError::AccessViolation {
+            reason: "message enclosed no memory reference",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn reply_with_no_rendezvous_is_an_error() {
+    let mut k = kernel();
+    let lone = k.create_task("lone", 1, 64);
+    k.submit(
+        lone,
+        Syscall::Reply {
+            message: Message::empty(),
+        },
+    )
+    .unwrap();
+    assert_eq!(process_err(&mut k), KernelError::NoRendezvous(lone));
+}
+
+#[test]
+fn double_offer_of_a_service_is_an_error() {
+    let mut k = kernel();
+    let server = k.create_task("server", 1, 64);
+    let svc = k.create_service("s");
+    k.submit(server, Syscall::Offer { service: svc }).unwrap();
+    drain(&mut k);
+    k.submit(server, Syscall::Offer { service: svc }).unwrap();
+    assert_eq!(
+        process_err(&mut k),
+        KernelError::DuplicateOffer {
+            task: server,
+            service: svc,
+        }
+    );
+    // A *different* task offering the same service is fine, as is the same
+    // task offering a second service.
+    let other = k.create_task("other", 1, 64);
+    k.submit(other, Syscall::Offer { service: svc }).unwrap();
+    drain(&mut k);
+    let svc2 = k.create_service("s2");
+    k.submit(server, Syscall::Offer { service: svc2 }).unwrap();
+    drain(&mut k);
+}

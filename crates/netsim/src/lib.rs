@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod live;
+
 use std::collections::VecDeque;
 use std::fmt;
 

@@ -1,0 +1,146 @@
+//! A concurrent log-bucketed latency histogram.
+//!
+//! Round-trip latencies span three decades (tens of microseconds uncontended
+//! to tens of milliseconds under a 64-conversation backlog), so buckets are
+//! powers of two of nanoseconds: `bucket = floor(log2(ns))`. Recording is a
+//! single relaxed fetch-add per sample — cheap enough to sit on the client
+//! hot path of every host thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 64;
+
+/// A lock-free histogram of durations.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, sample: Duration) {
+        let ns = (sample.as_nanos() as u64).max(1);
+        let bucket = 63 - ns.leading_zeros() as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 with no samples).
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64 / 1_000.0
+    }
+
+    /// Largest recorded sample, microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.max_ns.load(Ordering::Relaxed) as f64 / 1_000.0
+    }
+
+    /// Approximate `q`-quantile in microseconds: the geometric midpoint of
+    /// the bucket containing the `q`-th sample, clamped to the observed
+    /// maximum so an estimate never exceeds a real sample (0 with no
+    /// samples).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (bucket, slot) in self.buckets.iter().enumerate() {
+            seen += slot.load(Ordering::Relaxed);
+            if seen >= target {
+                // Bucket spans [2^b, 2^(b+1)) ns; report sqrt(2)·2^b.
+                let mid = (1u128 << bucket) as f64 * std::f64::consts::SQRT_2 / 1_000.0;
+                return mid.min(self.max_us());
+            }
+        }
+        self.max_us()
+    }
+
+    /// The per-bucket counts with their lower bounds in microseconds, for
+    /// printing (only non-empty buckets).
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, slot)| {
+                let n = slot.load(Ordering::Relaxed);
+                (n > 0).then(|| ((1u128 << b) as f64 / 1_000.0, n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let h = Histogram::default();
+        for us in [10u64, 20, 40, 80, 160, 320, 640, 1_280, 2_560, 5_120] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_us(0.50);
+        assert!((50.0..200.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 >= 2_560.0, "p99 {p99}");
+        assert!((h.max_us() - 5_120.0).abs() < 1.0);
+        assert!(h.mean_us() > 900.0 && h.mean_us() < 1_100.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_us(0.5), 0.0);
+        assert_eq!(h.mean_us(), 0.0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::default());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 1..=1_000u64 {
+                        h.record(Duration::from_nanos(i));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), 4_000);
+    }
+}

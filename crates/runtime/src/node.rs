@@ -1,0 +1,429 @@
+//! The per-node execution loops: the host thread multiplexing task state
+//! machines (Figure 4.4) and the message-coprocessor thread running the
+//! kernel's communication side (Figure 4.5).
+//!
+//! The division of labor follows §4.4 exactly:
+//!
+//! * the **host** pops runnable tasks off the shared *computation list*,
+//!   runs them (client bookkeeping, server compute), and when a task issues
+//!   a kernel call it writes the arguments into the task's control-block
+//!   slot and enqueues the TCB on the shared *communication list*;
+//! * the **MP** pops the communication list, injects the request into the
+//!   kernel ([`Kernel::place_request`] + [`Kernel::process`]), services the
+//!   network interface, and makes tasks runnable again by enqueueing them
+//!   on the computation list — strictly *after* depositing any delivered
+//!   message in the TCB inbox, so the host can never pop a runnable server
+//!   whose message has not arrived.
+//!
+//! Architecture I has no MP thread: one thread alternates both sides, which
+//! is precisely why its host saturates first under load.
+
+use crate::cost::{occupy_us, CostModel};
+use crate::hist::Histogram;
+use crate::shm::{Doorbell, NodeShm, TcbSlot};
+use archsim::timings::ActivityKind;
+use msgkernel::{
+    Kernel, KernelEvent, KernelStats, Message, Packet, SendMode, ServiceAddr, Syscall, TaskId,
+};
+use netsim::live::{LiveRing, Port};
+use netsim::RingNodeId;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long an idle loop parks on its doorbell before re-polling. A missed
+/// ring costs at most this much extra latency.
+const IDLE_PARK: Duration = Duration::from_micros(200);
+
+/// Empty polls a worker absorbs by spinning before it parks on its
+/// doorbell: enough to catch a peer that is about to publish work without
+/// paying a condvar wake, short enough not to steal the core from threads
+/// sleeping out an activity's occupancy on a small machine.
+const SPIN_POLLS: u32 = 256;
+
+/// What a popped computation-list element means to the host.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Role {
+    /// Client state machine `i`.
+    Client(usize),
+    /// Server state machine `i`.
+    Server(usize),
+}
+
+/// One node's shared-memory image as both threads see it.
+#[derive(Debug)]
+pub(crate) struct NodeShared {
+    pub shm: NodeShm,
+    pub slots: Vec<TcbSlot>,
+    pub host_bell: Doorbell,
+    pub mp_bell: Doorbell,
+}
+
+#[derive(Debug, Default)]
+struct ClientSm {
+    /// Send timestamp of the outstanding round trip.
+    sent_at: Option<Instant>,
+    done: bool,
+}
+
+/// The server task's position in its offer → receive → reply cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServerPhase {
+    /// Woken once the `Offer` completed; must post the first `Receive`.
+    Offered,
+    /// `Receive` posted; the next wake carries a delivered message.
+    AwaitDelivery,
+    /// Woken after the `Reply` completed; must post the next `Receive`.
+    Replied,
+}
+
+/// The host side of one node: client/server state machines multiplexed on
+/// one OS thread.
+pub(crate) struct HostCtx {
+    pub shared: Arc<NodeShared>,
+    pub cost: Arc<CostModel>,
+    /// Role of each task id.
+    pub roles: Vec<Role>,
+    pub clients: Vec<TaskId>,
+    /// Destination service per client index.
+    pub targets: Vec<ServiceAddr>,
+    pub servers: Vec<TaskId>,
+    /// Scaled server compute time (the workload's X), microseconds.
+    pub compute_us: f64,
+    pub hist: Arc<Histogram>,
+    pub round_trips: Arc<AtomicU64>,
+    /// Clients still running, across all nodes.
+    pub active: Arc<AtomicUsize>,
+    pub stopping: Arc<AtomicBool>,
+    pub halt: Arc<AtomicBool>,
+    client_sm: Vec<ClientSm>,
+    server_phase: Vec<ServerPhase>,
+}
+
+impl HostCtx {
+    #[allow(clippy::too_many_arguments)] // plain assembly of the run() wiring
+    pub(crate) fn new(
+        shared: Arc<NodeShared>,
+        cost: Arc<CostModel>,
+        roles: Vec<Role>,
+        clients: Vec<TaskId>,
+        targets: Vec<ServiceAddr>,
+        servers: Vec<TaskId>,
+        compute_us: f64,
+        hist: Arc<Histogram>,
+        round_trips: Arc<AtomicU64>,
+        active: Arc<AtomicUsize>,
+        stopping: Arc<AtomicBool>,
+        halt: Arc<AtomicBool>,
+    ) -> HostCtx {
+        let n_clients = clients.len();
+        let n_servers = servers.len();
+        HostCtx {
+            shared,
+            cost,
+            roles,
+            clients,
+            targets,
+            servers,
+            compute_us,
+            hist,
+            round_trips,
+            active,
+            stopping,
+            halt,
+            client_sm: (0..n_clients).map(|_| ClientSm::default()).collect(),
+            server_phase: vec![ServerPhase::Offered; n_servers],
+        }
+    }
+
+    /// Issues a kernel call: burn the syscall-entry cost, write the request
+    /// into the TCB, enqueue the TCB on the communication list, ring the MP.
+    fn issue(&self, task: TaskId, kind: ActivityKind, request: Syscall) {
+        self.cost.charge(kind);
+        *self.shared.slots[task.0 as usize]
+            .request
+            .lock()
+            .expect("request slot") = Some(request);
+        self.shared.shm.push_communication(task);
+        self.shared.mp_bell.ring();
+    }
+
+    fn issue_send(&mut self, client: usize) {
+        let task = self.clients[client];
+        self.client_sm[client].sent_at = Some(Instant::now());
+        self.issue(
+            task,
+            ActivityKind::SyscallSend,
+            Syscall::Send {
+                to: self.targets[client],
+                message: Message::from_bytes(b"request"),
+                mode: SendMode::invocation(),
+            },
+        );
+    }
+
+    /// Starts every client's first round trip.
+    pub(crate) fn kickoff(&mut self) {
+        for client in 0..self.clients.len() {
+            self.issue_send(client);
+        }
+    }
+
+    /// Pops and dispatches one computation-list entry; false when idle.
+    pub(crate) fn step(&mut self) -> bool {
+        let Some(task) = self.shared.shm.pop_computation() else {
+            return false;
+        };
+        match self.roles[task.0 as usize] {
+            Role::Client(i) => self.wake_client(i),
+            Role::Server(i) => self.wake_server(i),
+        }
+        true
+    }
+
+    /// A client wake means its reply arrived: close the round trip and
+    /// (unless draining) immediately start the next one.
+    fn wake_client(&mut self, client: usize) {
+        if self.client_sm[client].done {
+            return;
+        }
+        let Some(sent_at) = self.client_sm[client].sent_at.take() else {
+            return;
+        };
+        self.hist.record(sent_at.elapsed());
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        if self.stopping.load(Ordering::Relaxed) {
+            self.client_sm[client].done = true;
+            self.active.fetch_sub(1, Ordering::AcqRel);
+        } else {
+            self.issue_send(client);
+        }
+    }
+
+    fn wake_server(&mut self, server: usize) {
+        let task = self.servers[server];
+        match self.server_phase[server] {
+            ServerPhase::Offered | ServerPhase::Replied => {
+                self.server_phase[server] = ServerPhase::AwaitDelivery;
+                self.issue(task, ActivityKind::SyscallReceive, Syscall::Receive);
+            }
+            ServerPhase::AwaitDelivery => {
+                let message = self.shared.slots[task.0 as usize]
+                    .inbox
+                    .lock()
+                    .expect("inbox slot")
+                    .take();
+                debug_assert!(
+                    message.is_some(),
+                    "server woken for delivery with an empty inbox"
+                );
+                // The conversation's server compute (the workload's X).
+                occupy_us(self.compute_us);
+                self.server_phase[server] = ServerPhase::Replied;
+                self.issue(
+                    task,
+                    ActivityKind::SyscallReply,
+                    Syscall::Reply {
+                        message: Message::from_bytes(b"reply"),
+                    },
+                );
+            }
+        }
+    }
+
+    /// The host thread body (Architectures II–IV).
+    pub(crate) fn run(mut self) {
+        self.kickoff();
+        let mut empty_polls: u32 = 0;
+        while !self.halt.load(Ordering::Relaxed) {
+            if self.step() {
+                empty_polls = 0;
+                continue;
+            }
+            empty_polls += 1;
+            if empty_polls < SPIN_POLLS {
+                std::hint::spin_loop();
+                continue;
+            }
+            let epoch = self.shared.host_bell.epoch();
+            if !self.step() {
+                self.shared.host_bell.wait_past(epoch, IDLE_PARK);
+            }
+        }
+    }
+}
+
+/// The message-coprocessor side of one node: the kernel plus the network
+/// interface.
+pub(crate) struct MpCtx {
+    pub shared: Arc<NodeShared>,
+    pub cost: Arc<CostModel>,
+    pub kernel: Kernel,
+    pub port: Port<Packet>,
+    pub ring: LiveRing<Packet>,
+    pub halt: Arc<AtomicBool>,
+}
+
+impl MpCtx {
+    /// MP-side processing cost of an injected request.
+    fn charge_for(&self, request: &Syscall) {
+        match request {
+            Syscall::Send { .. } => self.cost.charge(ActivityKind::ProcessSend),
+            Syscall::Receive => self.cost.charge(ActivityKind::ProcessReceive),
+            Syscall::Reply { .. } => {
+                self.cost.charge(ActivityKind::ProcessReply);
+                self.cost.charge(ActivityKind::RestartServerAfterReply);
+            }
+            _ => {}
+        }
+    }
+
+    fn handle(&mut self, events: Vec<KernelEvent>) {
+        for event in events {
+            match event {
+                KernelEvent::PacketOut(packet) => {
+                    self.cost.charge(ActivityKind::DmaOut);
+                    let (from, to) = (RingNodeId(packet.from.0), RingNodeId(packet.to.0));
+                    self.ring
+                        .transmit(from, to, msgkernel::MESSAGE_SIZE as u32, packet)
+                        .expect("destination node attached to the ring");
+                }
+                KernelEvent::Delivered { server } => {
+                    self.cost.charge(ActivityKind::Match);
+                    self.cost.charge(ActivityKind::RestartServer);
+                    let message = self
+                        .kernel
+                        .task(server)
+                        .expect("delivered server exists")
+                        .delivered;
+                    *self.shared.slots[server.0 as usize]
+                        .inbox
+                        .lock()
+                        .expect("inbox slot") = message;
+                }
+                KernelEvent::ReplyDelivered { client } => {
+                    self.cost.charge(ActivityKind::CleanupClient);
+                    self.cost.charge(ActivityKind::RestartClient);
+                    if let Ok(task) = self.kernel.task(client) {
+                        let message = task.delivered;
+                        *self.shared.slots[client.0 as usize]
+                            .inbox
+                            .lock()
+                            .expect("inbox slot") = message;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Services the kernel's *internal* communication list: initial offers
+    /// queued at construction and buffer-shortage retries, which the kernel
+    /// re-queues itself (§3.2.3).
+    fn drain_internal(&mut self) -> bool {
+        let mut did = false;
+        while let Some(task) = self.kernel.next_communication() {
+            did = true;
+            let events = self.kernel.process(task).expect("internal request");
+            self.handle(events);
+        }
+        did
+    }
+
+    /// Flushes newly runnable TCBs to the shared computation list. Runs
+    /// after event handling, so inboxes are populated before the host can
+    /// observe the task as runnable.
+    fn flush(&mut self) -> bool {
+        let mut any = false;
+        while let Some(task) = self.kernel.next_computation() {
+            self.shared.shm.push_computation(task);
+            any = true;
+        }
+        if any {
+            self.shared.host_bell.ring();
+        }
+        any
+    }
+
+    /// One scheduling pass: internal work, host requests, network arrivals,
+    /// then the runnable flush. Returns whether anything happened.
+    pub(crate) fn pump(&mut self) -> bool {
+        let mut did = self.drain_internal();
+        while let Some(task) = self.shared.shm.pop_communication() {
+            did = true;
+            let request = self.shared.slots[task.0 as usize]
+                .request
+                .lock()
+                .expect("request slot")
+                .take()
+                .expect("host writes the request before enqueueing the TCB");
+            self.charge_for(&request);
+            self.kernel
+                .place_request(task, request)
+                .expect("live request is valid");
+            let events = self.kernel.process(task).expect("live syscall succeeds");
+            self.handle(events);
+            self.drain_internal();
+            // Publish eagerly: the host resumes restarted tasks while this
+            // loop keeps processing, instead of waiting for the backlog to
+            // drain (which would serialize the two processors in batches).
+            self.flush();
+        }
+        while let Some(frame) = self.port.try_recv() {
+            did = true;
+            self.cost.charge(ActivityKind::DmaIn);
+            let events = self
+                .kernel
+                .handle_packet(frame.payload)
+                .expect("live packet is well-formed");
+            self.handle(events);
+            self.drain_internal();
+            self.flush();
+        }
+        if self.flush() {
+            did = true;
+        }
+        did
+    }
+
+    /// The MP thread body (Architectures II–IV). Returns the kernel's
+    /// cumulative statistics.
+    pub(crate) fn run(mut self) -> KernelStats {
+        let mut empty_polls: u32 = 0;
+        while !self.halt.load(Ordering::Relaxed) {
+            if self.pump() {
+                empty_polls = 0;
+                continue;
+            }
+            empty_polls += 1;
+            if empty_polls < SPIN_POLLS {
+                std::hint::spin_loop();
+                continue;
+            }
+            let epoch = self.shared.mp_bell.epoch();
+            if !self.pump() {
+                self.shared.mp_bell.wait_past(epoch, IDLE_PARK);
+            }
+        }
+        self.kernel.stats()
+    }
+}
+
+/// Architecture I: one thread alternates host and kernel duties — the
+/// uniprocessor cannot overlap server compute with communication
+/// processing, which is exactly the bottleneck the MP removes.
+pub(crate) fn combined_run(mut host: HostCtx, mut mp: MpCtx) -> KernelStats {
+    host.kickoff();
+    loop {
+        let did_mp = mp.pump();
+        let did_host = host.step();
+        if mp.halt.load(Ordering::Relaxed) {
+            break;
+        }
+        if !did_mp && !did_host {
+            let epoch = host.shared.host_bell.epoch();
+            host.shared.host_bell.wait_past(epoch, IDLE_PARK);
+        }
+    }
+    mp.kernel.stats()
+}

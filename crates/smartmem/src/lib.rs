@@ -18,6 +18,11 @@
 //! * [`queue`] — the `Enqueue` / `First` / `Dequeue` primitives, coded
 //!   exactly from the §5.1 pseudo-code over the memory image, with memory-
 //!   cycle accounting mirroring the micro-routines of Appendix A.
+//! * [`shared`] — the same three queue transactions behind a
+//!   thread-shareable trait for the live runtime: a lock-serialized module
+//!   running the §5.1 routines (Architecture II) and a lock-free module
+//!   whose transactions are single atomic operations (Architectures
+//!   III/IV).
 //! * [`SmartMemory`] — the whole controller, implementing
 //!   [`smartbus::BusSlave`] so it plugs into the bus engine, plus the §A.5
 //!   error handling (bad tags, table overflow, corrupt lists, out-of-range
@@ -51,6 +56,7 @@ pub mod errors;
 pub mod micro;
 pub mod microcode;
 pub mod queue;
+pub mod shared;
 
 pub use blocktable::{BlockEntry, BlockTable};
 pub use controller::{ControllerStats, SmartMemory};
