@@ -99,13 +99,23 @@ fn main() -> ExitCode {
         // stays byte-identical whether caching is on or off.
         let engine = gtpn::engine::cache_stats();
         eprintln!(
-            "engine solution cache: {} hits, {} misses, {} evictions, {} entries",
-            engine.hits, engine.misses, engine.evictions, engine.entries
+            "engine solution cache: {} hits, {} misses, {} evictions, {} dedup drops, {} entries, {:.1} MiB",
+            engine.hits,
+            engine.misses,
+            engine.evictions,
+            engine.dedup_drops,
+            engine.entries,
+            engine.bytes as f64 / (1024.0 * 1024.0)
         );
         let reach = gtpn::cache::stats();
         eprintln!(
-            "reachability cache: {} hits, {} misses, {} evictions, {} entries",
-            reach.hits, reach.misses, reach.evictions, reach.entries
+            "reachability cache: {} hits, {} misses, {} evictions, {} dedup drops, {} entries, {:.1} MiB",
+            reach.hits,
+            reach.misses,
+            reach.evictions,
+            reach.dedup_drops,
+            reach.entries,
+            reach.bytes as f64 / (1024.0 * 1024.0)
         );
         let json = timing_json(mode, threads, total_seconds, &timed, engine, reach);
         match std::fs::write("BENCH_solver.json", &json) {
@@ -339,6 +349,7 @@ fn nonlocal_n4_case(cores: usize) -> (f64, f64) {
         state_budget: models::STATE_BUDGET,
         des: models::DesOptions::default(),
         par_solve: gtpn::par::par_solve_enabled(),
+        warm_start: gtpn::engine::warm_start_enabled(),
     })
     .with_cache(256)
     .with_budget(Arc::new(gtpn::ParallelBudget::new(cores)));
@@ -382,8 +393,12 @@ fn timing_json(
             0.0
         };
         format!(
-            "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}, \"hit_rate\": {:.4}}}",
-            s.hits, s.misses, s.evictions, s.entries, rate
+            concat!(
+                "{{\"hits\": {}, \"misses\": {}, \"evictions\": {}, ",
+                "\"dedup_drops\": {}, \"entries\": {}, \"bytes\": {}, ",
+                "\"hit_rate\": {:.4}}}"
+            ),
+            s.hits, s.misses, s.evictions, s.dedup_drops, s.entries, s.bytes, rate
         )
     };
     let mut experiments = String::from("[");

@@ -55,6 +55,7 @@ pub fn fig_6_7() -> String {
         state_budget: 1_000,
         des: DesOptions::default(),
         par_solve: gtpn::par::par_solve_enabled(),
+        warm_start: gtpn::engine::warm_start_enabled(),
     });
     let exact = engine
         .analyze(&constant)
@@ -419,6 +420,7 @@ pub fn fig_7_scale_with(mode: ExecMode, threads: usize) -> String {
         state_budget: 10_000,
         des: DesOptions::default(),
         par_solve: gtpn::par::par_solve_enabled(),
+        warm_start: gtpn::engine::warm_start_enabled(),
     });
     let grid = Grid::new(vec![2u32, 4, 6, 8]);
     let rows = grid.eval_in_with(&engine, mode, threads, |engine, &n| {

@@ -14,101 +14,250 @@
 //! collisions cannot alias two different nets. Values are
 //! `Arc<ReachabilityGraph>`, shared freely across sweep worker threads.
 //!
-//! The cache is process-global and bounded with least-recently-used
-//! eviction: every hit refreshes an entry's stamp, and inserting past
-//! capacity drops the entry whose last use is oldest — so the nets a
-//! long-running sweep keeps returning to (the §6.6.3 fixed-point iterates,
-//! the shared max-load points) stay resident while one-shot nets age out.
-//! Capacity defaults to [`MAX_ENTRIES`] and is configurable with the
-//! `HSIPC_CACHE_CAP` environment variable (read once per process; `0`
-//! disables caching entirely). The engine-level solution cache
-//! ([`crate::engine`]) shares the same capacity knob and reports the same
-//! counter set ([`CacheStats`]).
+//! # Bounding and eviction
+//!
+//! The cache is process-global and bounded by **resident bytes**
+//! ([`CacheLimits::max_bytes`], `HSIPC_CACHE_MB`, default 256 MiB) and
+//! optionally by entry count (`HSIPC_CACHE_CAP`; unset means unbounded,
+//! `0` disables caching entirely). Graph sizes vary by four orders of
+//! magnitude across the evaluation grids, so a byte budget is the quantity
+//! that actually protects the machine — the old fixed 256-entry cap made
+//! one figure's large grid evict another figure's still-hot points.
+//!
+//! Eviction is least-recently-used via an intrusive doubly-linked list
+//! ([`crate::lru`]): O(1) per eviction instead of the old O(entries)
+//! full-map scan. Entries are additionally tagged with the **partition**
+//! (experiment id, see [`partition_scope`]) that inserted them, and the
+//! victim search prefers the inserting partition's own oldest entry — a
+//! sweep that overflows the budget eats its own tail rather than a
+//! neighbor figure's.
+//!
+//! # Environment latching
+//!
+//! Limits are read from the environment **when a cache instance is
+//! constructed** — once for this process-global cache (first use or
+//! [`clear`], which reconstructs it), and once per private engine cache
+//! ([`crate::engine::AnalysisEngine::with_cache`]). There is deliberately
+//! no process-global `OnceLock` latch: an engine cache built after the
+//! environment changes sees the new values. The engine-level solution
+//! cache reports the same counter set ([`CacheStats`]).
 
 use crate::error::GtpnError;
 use crate::expr::Expr;
+use crate::lru::BoundedLru;
 use crate::net::Net;
 use crate::reach::ReachabilityGraph;
+use std::cell::Cell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Default capacity (entries) when `HSIPC_CACHE_CAP` is unset.
-pub const MAX_ENTRIES: usize = 256;
+/// Default resident-byte budget (mebibytes) when `HSIPC_CACHE_MB` is unset.
+///
+/// Sized so the full evaluation (`repro all`) runs eviction-free: its
+/// resident working set measures ~260 MiB per cache, and an eviction on
+/// the critical path costs a re-solve that dwarfs the memory it saved.
+/// Memory-constrained runs dial it down with `HSIPC_CACHE_MB`.
+pub const DEFAULT_CACHE_MB: usize = 1024;
 
-/// Configured capacity of the global caches: `HSIPC_CACHE_CAP` parsed once
-/// per process, defaulting to [`MAX_ENTRIES`]. A capacity of `0` disables
-/// caching (every lookup misses and nothing is retained).
-pub fn capacity() -> usize {
-    static CAP: OnceLock<usize> = OnceLock::new();
-    *CAP.get_or_init(|| {
-        std::env::var("HSIPC_CACHE_CAP")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .unwrap_or(MAX_ENTRIES)
+/// Size bounds of a bounded cache, fixed at cache construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLimits {
+    /// Maximum resident entries (`usize::MAX` = unbounded, `0` = disabled).
+    pub max_entries: usize,
+    /// Maximum estimated resident bytes (`0` = disabled).
+    pub max_bytes: usize,
+}
+
+impl CacheLimits {
+    /// Reads `HSIPC_CACHE_CAP` (entry count; unset = unbounded) and
+    /// `HSIPC_CACHE_MB` (mebibytes; unset = [`DEFAULT_CACHE_MB`]) from the
+    /// environment **now** — call this at cache construction; the result is
+    /// latched per cache instance, never per process.
+    pub fn from_env() -> CacheLimits {
+        let parse = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        };
+        CacheLimits {
+            max_entries: parse("HSIPC_CACHE_CAP").unwrap_or(usize::MAX),
+            max_bytes: parse("HSIPC_CACHE_MB")
+                .map(|mb| mb.saturating_mul(1024 * 1024))
+                .unwrap_or(DEFAULT_CACHE_MB * 1024 * 1024),
+        }
+    }
+
+    /// Entry-count limits with the byte budget still read from the
+    /// environment — the semantics of
+    /// [`crate::engine::AnalysisEngine::with_cache`].
+    pub fn with_entry_cap(cap: usize) -> CacheLimits {
+        CacheLimits {
+            max_entries: cap,
+            ..CacheLimits::from_env()
+        }
+    }
+
+    /// True when either bound is zero: every lookup misses and nothing is
+    /// retained.
+    pub fn disabled(&self) -> bool {
+        self.max_entries == 0 || self.max_bytes == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partitions
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// The eviction partition of work running on this thread (0 = none).
+    static PARTITION: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Restores the previous partition tag when dropped.
+pub struct PartitionGuard {
+    prev: u32,
+}
+
+impl Drop for PartitionGuard {
+    fn drop(&mut self) {
+        PARTITION.with(|p| p.set(self.prev));
+    }
+}
+
+/// Tags cache inserts on this thread with partition `p` until the guard
+/// drops. Sweep workers use this to carry their experiment's partition tag
+/// ([`current_partition`]) across threads.
+pub fn enter_partition(p: u32) -> PartitionGuard {
+    PARTITION.with(|slot| {
+        let prev = slot.replace(p);
+        PartitionGuard { prev }
     })
 }
 
+/// The partition tag of the current thread (0 when none is active).
+pub fn current_partition() -> u32 {
+    PARTITION.with(|p| p.get())
+}
+
+/// Runs `f` with cache inserts tagged by `label`'s partition — one label
+/// per experiment id keeps one figure's grid points from evicting
+/// another's (see the module docs on eviction preference).
+pub fn partition_scope<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    let mut h = DefaultHasher::new();
+    label.hash(&mut h);
+    let fp = h.finish();
+    // Fold to 32 bits; 0 is reserved for "no partition".
+    let tag = ((fp ^ (fp >> 32)) as u32).max(1);
+    let _guard = enter_partition(tag);
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// The global reachability cache
+// ---------------------------------------------------------------------------
+
 struct Entry {
+    fp: u64,
     net: Net,
     graph: Arc<ReachabilityGraph>,
-    /// Stamp of the most recent hit (or the insertion), for LRU eviction.
-    last_used: u64,
 }
 
 struct CacheInner {
-    /// fingerprint -> entries with that fingerprint (collision chain).
-    map: HashMap<u64, Vec<Entry>>,
-    /// Total entries across all chains.
-    count: usize,
-    /// Monotonic use counter backing the LRU stamps.
-    tick: u64,
+    /// fingerprint -> slot indices with that fingerprint (collision chain).
+    map: HashMap<u64, Vec<usize>>,
+    lru: BoundedLru<Entry>,
+    limits: CacheLimits,
     hits: u64,
     misses: u64,
     evictions: u64,
+    dedup_drops: u64,
 }
 
 impl CacheInner {
-    /// Drops the least-recently-used entry. No-op on an empty cache.
-    fn evict_lru(&mut self) {
-        let victim = self
-            .map
-            .iter()
-            .flat_map(|(&fp, chain)| {
-                chain
-                    .iter()
-                    .enumerate()
-                    .map(move |(i, e)| (e.last_used, fp, i))
-            })
-            .min();
-        if let Some((_, fp, i)) = victim {
-            let empty = {
-                let chain = self.map.get_mut(&fp).expect("victim chain exists");
-                chain.remove(i);
-                chain.is_empty()
-            };
-            if empty {
-                self.map.remove(&fp);
-            }
-            self.count -= 1;
-            self.evictions += 1;
+    fn new(limits: CacheLimits) -> CacheInner {
+        CacheInner {
+            map: HashMap::new(),
+            lru: BoundedLru::new(),
+            limits,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            dedup_drops: 0,
         }
+    }
+
+    /// Finds a resident graph for `net` that fits `max_states`.
+    fn probe(&self, fp: u64, net: &Net, max_states: usize) -> Option<usize> {
+        let chain = self.map.get(&fp)?;
+        chain.iter().copied().find(|&idx| {
+            let e = self.lru.get(idx);
+            e.graph.state_count() <= max_states && e.net == *net
+        })
+    }
+
+    /// Evicts the preferred victim (current partition's oldest, else the
+    /// global LRU). Returns false on an empty cache.
+    fn evict_one(&mut self) -> bool {
+        let Some(idx) = self.lru.victim(current_partition()) else {
+            return false;
+        };
+        let entry = self.lru.remove(idx);
+        let chain = self.map.get_mut(&entry.fp).expect("chained entry");
+        chain.retain(|&i| i != idx);
+        if chain.is_empty() {
+            self.map.remove(&entry.fp);
+        }
+        self.evictions += 1;
+        true
+    }
+
+    /// Inserts a freshly built graph — unless another worker raced us here
+    /// on the same net, in which case the duplicate is dropped and the
+    /// first `Arc` is shared (`dedup_drops` counts these).
+    fn insert_or_share(
+        &mut self,
+        fp: u64,
+        net: &Net,
+        graph: Arc<ReachabilityGraph>,
+        max_states: usize,
+    ) -> Arc<ReachabilityGraph> {
+        if let Some(idx) = self.probe(fp, net, max_states) {
+            self.dedup_drops += 1;
+            let shared = Arc::clone(&self.lru.get(idx).graph);
+            self.lru.touch(idx);
+            return shared;
+        }
+        let bytes = entry_cost(net, &graph);
+        if bytes > self.limits.max_bytes {
+            // Bigger than the whole budget: serve it uncached.
+            return graph;
+        }
+        while self.lru.len() >= self.limits.max_entries
+            || self.lru.bytes() + bytes > self.limits.max_bytes
+        {
+            if !self.evict_one() {
+                break;
+            }
+        }
+        let idx = self.lru.insert(
+            Entry {
+                fp,
+                net: net.clone(),
+                graph: Arc::clone(&graph),
+            },
+            bytes,
+            current_partition(),
+        );
+        self.map.entry(fp).or_default().push(idx);
+        graph
     }
 }
 
 fn cache() -> &'static Mutex<CacheInner> {
     static CACHE: OnceLock<Mutex<CacheInner>> = OnceLock::new();
-    CACHE.get_or_init(|| {
-        Mutex::new(CacheInner {
-            map: HashMap::new(),
-            count: 0,
-            tick: 0,
-            hits: 0,
-            misses: 0,
-            evictions: 0,
-        })
-    })
+    CACHE.get_or_init(|| Mutex::new(CacheInner::new(CacheLimits::from_env())))
 }
 
 /// Hit/miss/eviction counters of a bounded cache. Shared by the
@@ -120,10 +269,15 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to do the work.
     pub misses: u64,
-    /// Entries dropped to make room (least recently used first).
+    /// Entries dropped to make room (least recently used first, preferring
+    /// the inserting partition).
     pub evictions: u64,
+    /// Duplicate inserts dropped because a racing worker got there first.
+    pub dedup_drops: u64,
     /// Entries currently resident.
     pub entries: usize,
+    /// Estimated resident bytes of those entries.
+    pub bytes: usize,
 }
 
 /// Current statistics of the global reachability cache.
@@ -133,19 +287,18 @@ pub fn stats() -> CacheStats {
         hits: c.hits,
         misses: c.misses,
         evictions: c.evictions,
-        entries: c.count,
+        dedup_drops: c.dedup_drops,
+        entries: c.lru.len(),
+        bytes: c.lru.bytes(),
     }
 }
 
-/// Empties the global cache (counters included) — test isolation aid.
+/// Empties the global cache (counters included) and re-reads the limits
+/// from the environment — equivalent to constructing it anew. Test
+/// isolation aid.
 pub fn clear() {
     let mut c = cache().lock().expect("reachability cache poisoned");
-    c.map.clear();
-    c.count = 0;
-    c.tick = 0;
-    c.hits = 0;
-    c.misses = 0;
-    c.evictions = 0;
+    *c = CacheInner::new(CacheLimits::from_env());
 }
 
 /// As [`Net::reachability`], memoized on the net's structure.
@@ -175,50 +328,30 @@ pub fn reachability_budgeted(
     max_states: usize,
     par: &crate::par::ParallelBudget,
 ) -> Result<Arc<ReachabilityGraph>, GtpnError> {
-    let cap = capacity();
-    if cap == 0 {
-        let mut c = cache().lock().expect("reachability cache poisoned");
-        c.misses += 1;
-        drop(c);
-        return Ok(Arc::new(net.reachability_budgeted(max_states, par)?));
-    }
     let fp = fingerprint(net);
     {
         let mut c = cache().lock().expect("reachability cache poisoned");
-        let stamp = c.tick;
-        if let Some(chain) = c.map.get_mut(&fp) {
-            if let Some(entry) = chain
-                .iter_mut()
-                .find(|e| e.graph.state_count() <= max_states && e.net == *net)
-            {
-                entry.last_used = stamp;
-                let graph = Arc::clone(&entry.graph);
-                c.tick += 1;
-                c.hits += 1;
-                return Ok(graph);
-            }
+        if c.limits.disabled() {
+            c.misses += 1;
+            drop(c);
+            return Ok(Arc::new(net.reachability_budgeted(max_states, par)?));
+        }
+        if let Some(idx) = c.probe(fp, net, max_states) {
+            c.hits += 1;
+            let graph = Arc::clone(&c.lru.get(idx).graph);
+            c.lru.touch(idx);
+            return Ok(graph);
         }
         c.misses += 1;
     }
 
     // Expand outside the lock: big nets take a while and other workers may
     // be solving different points meanwhile. Two threads racing on the same
-    // net both expand; the second insert is a harmless duplicate that
-    // eviction ages out.
+    // net both expand; `insert_or_share` drops the loser's duplicate and
+    // hands it the winner's Arc.
     let graph = Arc::new(net.reachability_budgeted(max_states, par)?);
     let mut c = cache().lock().expect("reachability cache poisoned");
-    while c.count >= cap {
-        c.evict_lru();
-    }
-    let stamp = c.tick;
-    c.tick += 1;
-    c.map.entry(fp).or_default().push(Entry {
-        net: net.clone(),
-        graph: Arc::clone(&graph),
-        last_used: stamp,
-    });
-    c.count += 1;
-    Ok(graph)
+    Ok(c.insert_or_share(fp, net, graph, max_states))
 }
 
 /// Structural fingerprint of a net: everything that determines its
@@ -239,6 +372,19 @@ pub fn fingerprint(net: &Net) -> u64 {
         hash_expr(&t.frequency, &mut h);
     }
     h.finish()
+}
+
+/// A rough resident-byte estimate for a net retained in a cache entry.
+pub(crate) fn net_bytes(net: &Net) -> usize {
+    // Places (name + marking) plus transitions (arcs, expression tree,
+    // labels); a coarse constant per node is plenty for a budget estimate.
+    64 * net.place_count() + 256 * net.transition_count()
+}
+
+/// Resident cost of one reachability-cache entry: the graph plus the
+/// retained verification copy of the net.
+fn entry_cost(net: &Net, graph: &ReachabilityGraph) -> usize {
+    graph.resident_bytes() + net_bytes(net)
 }
 
 /// Hashes an expression tree; floats hash by bit pattern so distinct
@@ -317,6 +463,10 @@ mod tests {
         net
     }
 
+    fn set_limits(limits: CacheLimits) {
+        cache().lock().unwrap().limits = limits;
+    }
+
     #[test]
     fn identical_nets_share_one_graph() {
         let _gate = isolate();
@@ -327,6 +477,7 @@ mod tests {
         let s = stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
         assert_eq!(s.evictions, 0);
+        assert!(s.bytes > 0, "resident bytes should be accounted");
     }
 
     #[test]
@@ -381,8 +532,11 @@ mod tests {
     fn recently_used_entries_survive_eviction() {
         let _gate = isolate();
         clear();
-        let cap = capacity();
-        assert!(cap >= 2, "test requires a real cache");
+        let cap = 4;
+        set_limits(CacheLimits {
+            max_entries: cap,
+            max_bytes: usize::MAX,
+        });
         // Distinct frequencies i/10007 never collide with the other tests'
         // 0.25 / 0.125 / 0.5 / 0.1 rings.
         let freq = |i: usize| (i + 1) as f64 / 10007.0;
@@ -403,5 +557,73 @@ mod tests {
         let before = stats().misses;
         reachability(&ring(freq(1)), 100).unwrap();
         assert_eq!(stats().misses, before + 1, "LRU victim should re-expand");
+        clear();
+    }
+
+    #[test]
+    fn byte_budget_bounds_residency() {
+        let _gate = isolate();
+        clear();
+        let big = ring(0.77);
+        let one = entry_cost(&big, &big.reachability(100).unwrap());
+        // Room for one graph but not two.
+        set_limits(CacheLimits {
+            max_entries: usize::MAX,
+            max_bytes: one + one / 2,
+        });
+        reachability(&ring(0.77), 100).unwrap();
+        reachability(&ring(0.66), 100).unwrap();
+        let s = stats();
+        assert_eq!(s.entries, 1, "byte budget should hold one graph");
+        assert_eq!(s.evictions, 1);
+        assert!(s.bytes <= one + one / 2);
+        // The newest entry is the resident one.
+        reachability(&ring(0.66), 100).unwrap();
+        assert_eq!(stats().hits, 1);
+        clear();
+    }
+
+    #[test]
+    fn eviction_prefers_the_inserting_partition() {
+        let _gate = isolate();
+        clear();
+        set_limits(CacheLimits {
+            max_entries: 2,
+            max_bytes: usize::MAX,
+        });
+        let a = partition_scope("figA", || reachability(&ring(0.31), 100).unwrap());
+        let b = partition_scope("figB", || reachability(&ring(0.32), 100).unwrap());
+        // figA overflows the cache: its own older entry is the victim,
+        // figB's survives even though it is not the most recent.
+        partition_scope("figA", || reachability(&ring(0.33), 100).unwrap());
+        let b2 = partition_scope("figB", || reachability(&ring(0.32), 100).unwrap());
+        assert!(Arc::ptr_eq(&b, &b2), "other partition's entry was evicted");
+        let a2 = partition_scope("figA", || reachability(&ring(0.31), 100).unwrap());
+        assert!(
+            !Arc::ptr_eq(&a, &a2),
+            "inserting partition's own entry should have been the victim"
+        );
+        clear();
+    }
+
+    #[test]
+    fn racing_inserts_share_the_first_graph() {
+        let _gate = isolate();
+        clear();
+        let net = ring(0.44);
+        let fp = fingerprint(&net);
+        // Simulate two workers that both missed and both expanded.
+        let g1 = Arc::new(net.reachability(100).unwrap());
+        let g2 = Arc::new(net.reachability(100).unwrap());
+        let mut c = cache().lock().unwrap();
+        let first = c.insert_or_share(fp, &net, Arc::clone(&g1), 100);
+        let second = c.insert_or_share(fp, &net, Arc::clone(&g2), 100);
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "loser must be handed the winner's Arc"
+        );
+        assert!(Arc::ptr_eq(&first, &g1));
+        assert_eq!(c.dedup_drops, 1);
+        assert_eq!(c.lru.len(), 1, "the duplicate must not be inserted");
     }
 }

@@ -25,10 +25,25 @@
 //!   solve. A hit under a permuted build order transparently remaps
 //!   [`PlaceId`]/[`TransId`] queries through the composed permutation. Hits
 //!   are verified by full structural equality of the canonical forms, so
-//!   fingerprint collisions cannot alias distinct nets. The cache is LRU
-//!   with the same capacity knob as the reachability cache
-//!   (`HSIPC_CACHE_CAP`, default [`crate::cache::MAX_ENTRIES`], `0`
-//!   disables) and reports the same counter set via [`cache_stats`].
+//!   fingerprint collisions cannot alias distinct nets. The cache is
+//!   bounded like the reachability cache — by resident bytes
+//!   (`HSIPC_CACHE_MB`) and optionally entry count (`HSIPC_CACHE_CAP`,
+//!   `0` disables), see [`crate::cache::CacheLimits`] — with intrusive
+//!   LRU eviction that prefers victims from the inserting experiment's
+//!   own partition ([`crate::cache::partition_scope`]). It reports the
+//!   same counter set via [`cache_stats`].
+//!
+//! * **Warm starts.** Consecutive points of a sweep differ only in a few
+//!   rates, so their embedded chains share a *shape*
+//!   ([`ReachabilityGraph::shape_fingerprint`]). A [`WarmStart`] carries
+//!   converged embedded distributions across same-shape solves — threaded
+//!   explicitly through [`AnalysisEngine::analyze_warm`], or installed
+//!   ambiently on a sweep worker via [`warm_point_begin`] — and the next
+//!   solve starts its iteration from the neighbor's answer instead of the
+//!   uniform vector. Seeding moves the solver's *trajectory*, never its
+//!   destination: the stopping rule is unchanged, so a warm solve agrees
+//!   with a cold one to solver tolerance (`HSIPC_WARM_START=0` turns the
+//!   hand-off off for A/B comparison).
 //!
 //! * **Determinism.** The exact backend is bitwise identical to calling
 //!   `net.reachability(budget)?.solve(tol, sweeps)` directly — a cache
@@ -37,8 +52,10 @@
 //!   from the canonical fingerprint, so estimates are identical run-to-run
 //!   and across build orders, no matter which sweep worker executes them.
 
+use crate::cache::CacheLimits;
 use crate::canonical::{self, Canonical};
 use crate::error::GtpnError;
+use crate::lru::BoundedLru;
 use crate::net::{Net, PlaceId, TransId};
 use crate::par::ParallelBudget;
 use crate::reach::ReachabilityGraph;
@@ -50,6 +67,7 @@ use std::cell::RefCell;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which backend produced (or should produce) an analysis.
@@ -136,6 +154,13 @@ pub struct EngineConfig {
     /// [`crate::par::par_solve_enabled`]) and part of the cache key. The
     /// red-black results themselves are independent of thread count.
     pub par_solve: bool,
+    /// Seed each solve from a same-shape neighbor's converged solution
+    /// when a [`WarmStart`] store is in reach (explicit or ambient); see
+    /// the module docs. On by default; `HSIPC_WARM_START=0` disables via
+    /// [`warm_start_enabled`] for engines built by
+    /// [`from_env`](AnalysisEngine::from_env). Not part of the cache key:
+    /// warm and cold solves are interchangeable to solver tolerance.
+    pub warm_start: bool,
 }
 
 impl Default for EngineConfig {
@@ -150,7 +175,130 @@ impl Default for EngineConfig {
             state_budget: 2_000_000,
             des: DesOptions::default(),
             par_solve: false,
+            warm_start: true,
         }
+    }
+}
+
+/// Whether warm starting is enabled by the environment: `HSIPC_WARM_START`
+/// set to `0`, `off` or `false` disables it; anything else (including
+/// unset) enables it. Read fresh on every call — not latched — so tests
+/// and the CI identity legs can flip it within one process.
+pub fn warm_start_enabled() -> bool {
+    match std::env::var("HSIPC_WARM_START") {
+        Ok(v) => !(v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false")),
+        Err(_) => true,
+    }
+}
+
+/// Shapes retained per [`WarmStart`] store before it resets. A sweep point
+/// touches a handful of distinct chain shapes (client net, server net, the
+/// architecture's local model); the bound only guards against a pathological
+/// caller accumulating unboundedly.
+const WARM_MAX_SHAPES: usize = 64;
+
+/// A hand-off store of converged embedded distributions, keyed by chain
+/// shape ([`ReachabilityGraph::shape_fingerprint`]).
+///
+/// Two ways to supply one to the engine:
+///
+/// * **Explicitly** — create a `WarmStart` per solve *chain* and pass
+///   `&mut` to [`AnalysisEngine::analyze_warm`]. The store travels with
+///   the computation (e.g. the §6.6.3 fixed point keeps one per model
+///   role across its iterations), so results cannot depend on which
+///   thread runs it.
+/// * **Ambiently** — sweep workers install a thread-local store with
+///   [`warm_point_begin`] before evaluating a grid point; plain
+///   [`analyze`](AnalysisEngine::analyze) calls then pick it up. Code
+///   outside a sweep sees no store and solves cold, exactly as before.
+///
+/// Solutions of directly solved graphs (≤ the dense-LU cutoff) are not
+/// recorded: the LU ignores seeds, so storing them would be dead weight.
+#[derive(Debug, Default)]
+pub struct WarmStart {
+    slots: HashMap<u64, Vec<f64>>,
+}
+
+impl WarmStart {
+    /// An empty store.
+    pub fn new() -> WarmStart {
+        WarmStart::default()
+    }
+
+    fn get(&self, shape: u64) -> Option<&[f64]> {
+        self.slots.get(&shape).map(Vec::as_slice)
+    }
+
+    fn put(&mut self, shape: u64, pi: Vec<f64>) {
+        if self.slots.len() >= WARM_MAX_SHAPES && !self.slots.contains_key(&shape) {
+            self.slots.clear();
+        }
+        self.slots.insert(shape, pi);
+    }
+}
+
+thread_local! {
+    /// The ambient per-worker store: `(grid-eval token, store)`.
+    static AMBIENT_WARM: RefCell<Option<(u64, WarmStart)>> = const { RefCell::new(None) };
+}
+
+/// A fresh token identifying one grid evaluation; see [`warm_point_begin`].
+pub fn warm_token() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Installs (or keeps) the calling worker's ambient [`WarmStart`] for the
+/// grid evaluation identified by `token`. Called by the sweep layer before
+/// each point: the first point a worker takes creates the store, later
+/// points on the same worker reuse it — that continuity *is* the warm
+/// chain. A store left behind by a different grid eval (stale token) is
+/// replaced, never reused across evals.
+pub fn warm_point_begin(token: u64) {
+    AMBIENT_WARM.with(|cell| {
+        let mut cell = cell.borrow_mut();
+        match cell.as_ref() {
+            Some((t, _)) if *t == token => {}
+            _ => *cell = Some((token, WarmStart::new())),
+        }
+    });
+}
+
+/// Drops the calling thread's ambient store if it belongs to `token`.
+/// Called by the sweep layer after a grid evaluation returns, so solves
+/// outside any sweep never see a leftover store.
+pub fn warm_end(token: u64) {
+    AMBIENT_WARM.with(|cell| {
+        let mut cell = cell.borrow_mut();
+        if matches!(cell.as_ref(), Some((t, _)) if *t == token) {
+            *cell = None;
+        }
+    });
+}
+
+/// The seed for a solve of `shape` from the explicit store if given, else
+/// the ambient one (cloned out so no borrow crosses the solve).
+fn warm_seed(warm: Option<&mut WarmStart>, shape: u64) -> Option<Vec<f64>> {
+    match warm {
+        Some(w) => w.get(shape).map(<[f64]>::to_vec),
+        None => AMBIENT_WARM.with(|cell| {
+            cell.borrow()
+                .as_ref()
+                .and_then(|(_, w)| w.get(shape).map(<[f64]>::to_vec))
+        }),
+    }
+}
+
+/// Records a converged distribution into the explicit store if given, else
+/// the ambient one (a no-op when neither exists).
+fn warm_store(warm: Option<&mut WarmStart>, shape: u64, pi: Vec<f64>) {
+    match warm {
+        Some(w) => w.put(shape, pi),
+        None => AMBIENT_WARM.with(|cell| {
+            if let Some((_, w)) = cell.borrow_mut().as_mut() {
+                w.put(shape, pi);
+            }
+        }),
     }
 }
 
@@ -335,7 +483,8 @@ pub trait Backend: Sync {
     fn kind(&self) -> BackendKind;
     /// Analyzes `net` under `cfg`, in `net`'s own id space, drawing any
     /// extra worker threads from `par` (see [`ParallelBudget`]); backends
-    /// must produce results independent of what the budget grants.
+    /// must produce results independent of what the budget grants. `warm`
+    /// is the explicit warm-start store, if the caller threads one.
     ///
     /// # Errors
     ///
@@ -346,12 +495,9 @@ pub trait Backend: Sync {
         net: &Net,
         cfg: &EngineConfig,
         par: &ParallelBudget,
+        warm: Option<&mut WarmStart>,
     ) -> Result<AnalysisData, GtpnError>;
 }
-
-/// State count below which the red-black solver does not bother claiming
-/// extra cores — thread dispatch per color sweep costs more than the sweep.
-const PAR_SOLVE_MIN_STATES: usize = 512;
 
 /// The exact pipeline: memoized reachability expansion + Gauss–Seidel,
 /// with a warm per-thread [`SolveWorkspace`].
@@ -368,29 +514,46 @@ impl Backend for ExactMarkov {
         net: &Net,
         cfg: &EngineConfig,
         par: &ParallelBudget,
+        mut warm: Option<&mut WarmStart>,
     ) -> Result<AnalysisData, GtpnError> {
         thread_local! {
             static WORKSPACE: RefCell<SolveWorkspace> = RefCell::new(SolveWorkspace::new());
         }
         let graph = crate::cache::reachability_budgeted(net, cfg.state_budget, par)?;
+        let shape = graph.shape_fingerprint();
+        let seed = if cfg.warm_start {
+            warm_seed(warm.as_deref_mut(), shape)
+        } else {
+            None
+        };
         let solution = WORKSPACE.with(|ws| {
             let mut ws = ws.borrow_mut();
             if cfg.par_solve {
                 // Red-black: always when configured (the ordering changes
                 // the trajectory, so it must not depend on core
-                // availability), fanning out only when the graph is big
-                // enough to amortize per-sweep thread dispatch.
-                let want = if graph.state_count() >= PAR_SOLVE_MIN_STATES {
-                    usize::MAX
-                } else {
-                    0
-                };
-                let lease = par.claim_extra(want);
-                graph.solve_red_black(cfg.tolerance, cfg.max_sweeps, &mut ws, 1 + lease.extra())
+                // availability). The solver claims its worker width from
+                // the budget per sweep, widening as pool workers drain.
+                Solution::solve_red_black_budgeted(
+                    &graph,
+                    cfg.tolerance,
+                    cfg.max_sweeps,
+                    &mut ws,
+                    par,
+                    seed.as_deref(),
+                )
             } else {
-                graph.solve_with(cfg.tolerance, cfg.max_sweeps, &mut ws)
+                Solution::solve_seeded_with(
+                    &graph,
+                    cfg.tolerance,
+                    cfg.max_sweeps,
+                    &mut ws,
+                    seed.as_deref(),
+                )
             }
         })?;
+        if cfg.warm_start && graph.state_count() > crate::solve::DIRECT_MAX_STATES {
+            warm_store(warm, shape, solution.embedded_probabilities().to_vec());
+        }
         Ok(AnalysisData {
             backend: BackendKind::Exact,
             states: graph.state_count(),
@@ -422,6 +585,7 @@ impl Backend for DesEstimate {
         net: &Net,
         cfg: &EngineConfig,
         _par: &ParallelBudget,
+        _warm: Option<&mut WarmStart>,
     ) -> Result<AnalysisData, GtpnError> {
         net.validate()?;
         let batches = cfg.des.batches.max(2);
@@ -518,91 +682,112 @@ struct CacheEntry {
     /// `canonical transition id -> stored transition id`.
     trans_from_canon: Vec<usize>,
     data: Arc<AnalysisData>,
-    last_used: u64,
+}
+
+/// Estimated resident bytes of a cache entry: graph + solution vectors for
+/// exact results, the averaged per-name/per-id vectors for DES, plus the
+/// canonical net kept for hit verification. The reachability graph `Arc`
+/// is usually shared with [`crate::cache`]; counting it in both caches is
+/// a deliberate overestimate — the bound stays safe if either cache drops
+/// its copy first.
+fn entry_bytes(e: &CacheEntry) -> usize {
+    let data = match &e.data.exact {
+        // Solution: state + embedded probabilities and per-resource maps,
+        // ~48 bytes per state dominated by the two f64 vectors.
+        Some((graph, _)) => graph.resident_bytes() + 48 * graph.state_count(),
+        None => {
+            64 * (e.data.resource_usage.len()
+                + e.data.resource_half_width.len()
+                + e.data.resource_delay.len())
+                + 8 * (e.data.mean_tokens.len() + e.data.transition_usage.len())
+        }
+    };
+    data + crate::cache::net_bytes(&e.canonical)
+        + 8 * (e.place_from_canon.len() + e.trans_from_canon.len())
+        + 128
 }
 
 #[derive(Debug)]
 struct EngineCache {
-    map: HashMap<CacheKey, Vec<CacheEntry>>,
-    count: usize,
-    tick: u64,
+    /// key → slot indices in `lru` (a chain: distinct nets can share a
+    /// fingerprint).
+    map: HashMap<CacheKey, Vec<usize>>,
+    lru: BoundedLru<(CacheKey, CacheEntry)>,
+    limits: CacheLimits,
     hits: u64,
     misses: u64,
     evictions: u64,
-    /// Fixed capacity of a per-engine cache; `None` means the process
-    /// cache, which follows the `HSIPC_CACHE_CAP` knob.
-    cap: Option<usize>,
+    /// Results recomputed by a racing worker and dropped at insert because
+    /// an equal entry had landed first.
+    dedup_drops: u64,
 }
 
 impl EngineCache {
-    fn new(cap: Option<usize>) -> EngineCache {
+    fn new(limits: CacheLimits) -> EngineCache {
         EngineCache {
             map: HashMap::new(),
-            count: 0,
-            tick: 0,
+            lru: BoundedLru::new(),
+            limits,
             hits: 0,
             misses: 0,
             evictions: 0,
-            cap,
+            dedup_drops: 0,
         }
     }
 
-    fn capacity(&self) -> usize {
-        self.cap.unwrap_or_else(crate::cache::capacity)
+    fn disabled(&self) -> bool {
+        self.limits.max_entries == 0 || self.limits.max_bytes == 0
     }
 
-    fn evict_lru(&mut self) {
-        let victim = self
-            .map
-            .iter()
-            .flat_map(|(key, chain)| {
-                chain
-                    .iter()
-                    .enumerate()
-                    .map(move |(i, e)| (e.last_used, *key, i))
-            })
-            .min_by_key(|&(stamp, _, _)| stamp);
-        if let Some((_, key, i)) = victim {
-            let empty = {
-                let chain = self.map.get_mut(&key).expect("victim chain exists");
-                chain.remove(i);
-                chain.is_empty()
-            };
-            if empty {
+    /// Evicts one entry — the least-recent of the current partition if it
+    /// has any, else the global least-recent. False when already empty.
+    fn evict_one(&mut self) -> bool {
+        let Some(idx) = self.lru.victim(crate::cache::current_partition()) else {
+            return false;
+        };
+        let (key, _) = self.lru.remove(idx);
+        if let Some(chain) = self.map.get_mut(&key) {
+            chain.retain(|&i| i != idx);
+            if chain.is_empty() {
                 self.map.remove(&key);
             }
-            self.count -= 1;
-            self.evictions += 1;
+        }
+        self.evictions += 1;
+        true
+    }
+
+    fn stats(&self) -> crate::cache::CacheStats {
+        crate::cache::CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            dedup_drops: self.dedup_drops,
+            entries: self.lru.len(),
+            bytes: self.lru.bytes(),
         }
     }
 }
 
 fn engine_cache() -> &'static Mutex<EngineCache> {
     static CACHE: OnceLock<Mutex<EngineCache>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(EngineCache::new(None)))
+    CACHE.get_or_init(|| Mutex::new(EngineCache::new(CacheLimits::from_env())))
 }
 
 /// Current statistics of the global engine solution cache — the same
 /// counter set as [`crate::cache::stats`].
 pub fn cache_stats() -> crate::cache::CacheStats {
-    let c = engine_cache().lock().expect("engine cache poisoned");
-    crate::cache::CacheStats {
-        hits: c.hits,
-        misses: c.misses,
-        evictions: c.evictions,
-        entries: c.count,
-    }
+    engine_cache()
+        .lock()
+        .expect("engine cache poisoned")
+        .stats()
 }
 
 /// Empties the global engine cache (counters included) — test isolation.
+/// The cache is reconstructed, so `HSIPC_CACHE_CAP`/`HSIPC_CACHE_MB` are
+/// re-read: setting them after this call takes effect.
 pub fn clear_cache() {
     let mut c = engine_cache().lock().expect("engine cache poisoned");
-    c.map.clear();
-    c.count = 0;
-    c.tick = 0;
-    c.hits = 0;
-    c.misses = 0;
-    c.evictions = 0;
+    *c = EngineCache::new(CacheLimits::from_env());
 }
 
 // ---------------------------------------------------------------------------
@@ -637,6 +822,7 @@ impl AnalysisEngine {
         AnalysisEngine::new(EngineConfig {
             backend: BackendSel::from_env(),
             par_solve: crate::par::par_solve_enabled(),
+            warm_start: warm_start_enabled(),
             ..EngineConfig::default()
         })
     }
@@ -650,12 +836,15 @@ impl AnalysisEngine {
     }
 
     /// This engine with a private solution cache of `cap` entries (`0`
-    /// disables caching for this engine). Results no longer flow through —
-    /// or count against — the process-global LRU: tests get isolation
-    /// without serializing on the global counters, and nested fixed-point
-    /// solves stop evicting the outer sweep's hot entries.
+    /// disables caching for this engine), byte-bounded by the same
+    /// `HSIPC_CACHE_MB` budget as the global cache. Results no longer flow
+    /// through — or count against — the process-global LRU: tests get
+    /// isolation without serializing on the global counters, and nested
+    /// fixed-point solves stop evicting the outer sweep's hot entries.
     pub fn with_cache(mut self, cap: usize) -> AnalysisEngine {
-        self.cache = Some(Arc::new(Mutex::new(EngineCache::new(Some(cap)))));
+        self.cache = Some(Arc::new(Mutex::new(EngineCache::new(
+            CacheLimits::with_entry_cap(cap),
+        ))));
         self
     }
 
@@ -688,13 +877,10 @@ impl AnalysisEngine {
     /// Statistics of the cache this engine uses (the global one unless
     /// [`with_cache`](Self::with_cache) was applied).
     pub fn cache_stats(&self) -> crate::cache::CacheStats {
-        let c = self.cache_mutex().lock().expect("engine cache poisoned");
-        crate::cache::CacheStats {
-            hits: c.hits,
-            misses: c.misses,
-            evictions: c.evictions,
-            entries: c.count,
-        }
+        self.cache_mutex()
+            .lock()
+            .expect("engine cache poisoned")
+            .stats()
     }
 
     /// Hash of the parameters that determine a backend's result, beyond
@@ -722,18 +908,29 @@ impl AnalysisEngine {
         h.finish()
     }
 
+    /// The slot index of a verified hit for `key` under this engine's
+    /// state budget, if any. Caller holds the lock.
+    fn find_slot(
+        c: &EngineCache,
+        key: &CacheKey,
+        budget: usize,
+        canon: &Canonical,
+    ) -> Option<usize> {
+        let kind = key.1;
+        c.map.get(key)?.iter().copied().find(|&i| {
+            let (_, e) = c.lru.get(i);
+            (kind != BackendKind::Exact || e.data.states <= budget) && e.canonical == canon.net
+        })
+    }
+
     /// Looks for a verified cache hit, composing the id permutation when
     /// the stored analysis came from a different build order.
     fn probe(&self, kind: BackendKind, canon: &Canonical, fp: u64) -> Option<Analysis> {
         let key = (fp, kind, self.params_hash(kind));
         let mut c = self.cache_mutex().lock().expect("engine cache poisoned");
-        let stamp = c.tick;
-        let budget = self.cfg.state_budget;
-        let chain = c.map.get_mut(&key)?;
-        let entry = chain.iter_mut().find(|e| {
-            (kind != BackendKind::Exact || e.data.states <= budget) && e.canonical == canon.net
-        })?;
-        entry.last_used = stamp;
+        let idx = Self::find_slot(&c, &key, self.cfg.state_budget, canon)?;
+        c.lru.touch(idx);
+        let (_, entry) = c.lru.get(idx);
         let place_map = compose(&canon.place_map, &entry.place_from_canon);
         let trans_map = compose(&canon.trans_map, &entry.trans_from_canon);
         let analysis = Analysis {
@@ -741,36 +938,60 @@ impl AnalysisEngine {
             place_map: place_map.map(Arc::new),
             trans_map: trans_map.map(Arc::new),
         };
-        c.tick += 1;
         c.hits += 1;
         Some(analysis)
     }
 
-    /// Inserts a freshly computed analysis, evicting LRU entries past the
-    /// configured capacity.
+    /// Inserts a freshly computed analysis, evicting entries (preferring
+    /// the current partition's) until both the entry and the byte bounds
+    /// hold. A racing insert of the same net is dropped, not duplicated —
+    /// the old chain `push` could stack several copies of one solution
+    /// when sweep workers missed simultaneously.
     fn insert(&self, kind: BackendKind, canon: &Canonical, fp: u64, data: &Arc<AnalysisData>) {
         let key = (fp, kind, self.params_hash(kind));
         let mut c = self.cache_mutex().lock().expect("engine cache poisoned");
-        let cap = c.capacity();
-        while c.count >= cap {
-            c.evict_lru();
+        if c.disabled() {
+            return;
         }
-        let stamp = c.tick;
-        c.tick += 1;
-        c.map.entry(key).or_default().push(CacheEntry {
+        if let Some(idx) = Self::find_slot(&c, &key, usize::MAX, canon) {
+            c.dedup_drops += 1;
+            c.lru.touch(idx);
+            return;
+        }
+        let entry = CacheEntry {
             canonical: canon.net.clone(),
             place_from_canon: invert(&canon.place_map),
             trans_from_canon: invert(&canon.trans_map),
             data: Arc::clone(data),
-            last_used: stamp,
-        });
-        c.count += 1;
+        };
+        let bytes = entry_bytes(&entry);
+        if bytes > c.limits.max_bytes {
+            // Larger than the whole budget: caching it would wipe the
+            // cache and still not fit.
+            return;
+        }
+        while c.lru.len() >= c.limits.max_entries || c.lru.bytes() + bytes > c.limits.max_bytes {
+            if !c.evict_one() {
+                break;
+            }
+        }
+        let idx = c
+            .lru
+            .insert((key, entry), bytes, crate::cache::current_partition());
+        c.map.entry(key).or_default().push(idx);
     }
 
     /// Runs `backend` on the original net (cache-bypassing core; the miss
     /// is counted by the caller).
-    fn run_fresh(&self, backend: &dyn Backend, net: &Net) -> Result<Arc<AnalysisData>, GtpnError> {
-        backend.run(net, &self.cfg, self.budget()).map(Arc::new)
+    fn run_fresh(
+        &self,
+        backend: &dyn Backend,
+        net: &Net,
+        warm: Option<&mut WarmStart>,
+    ) -> Result<Arc<AnalysisData>, GtpnError> {
+        backend
+            .run(net, &self.cfg, self.budget(), warm)
+            .map(Arc::new)
     }
 
     /// Counts a miss on this engine's cache.
@@ -789,19 +1010,40 @@ impl AnalysisEngine {
     /// [`GtpnError::StateSpaceExceeded`] from the exact path triggers the
     /// DES fallback instead of being returned.
     pub fn analyze(&self, net: &Net) -> Result<Analysis, GtpnError> {
+        self.analyze_warm(net, None)
+    }
+
+    /// As [`analyze`](Self::analyze), threading an explicit [`WarmStart`]
+    /// store through to the exact backend. The store travels with the
+    /// caller's computation (not with whichever thread runs it), so
+    /// chained solves stay bit-identical regardless of core budgets.
+    ///
+    /// # Errors
+    ///
+    /// As [`analyze`](Self::analyze).
+    pub fn analyze_warm(
+        &self,
+        net: &Net,
+        mut warm: Option<&mut WarmStart>,
+    ) -> Result<Analysis, GtpnError> {
         let cache_off = {
             let c = self.cache_mutex().lock().expect("engine cache poisoned");
-            c.capacity() == 0
+            c.disabled()
         };
         if cache_off {
             self.count_miss();
             return match self.cfg.backend {
-                BackendSel::Exact => self.run_fresh(&ExactMarkov, net).map(Analysis::identity),
-                BackendSel::Des => self.run_fresh(&DesEstimate, net).map(Analysis::identity),
-                BackendSel::Auto => match self.run_fresh(&ExactMarkov, net) {
+                BackendSel::Exact => self
+                    .run_fresh(&ExactMarkov, net, warm)
+                    .map(Analysis::identity),
+                BackendSel::Des => self
+                    .run_fresh(&DesEstimate, net, None)
+                    .map(Analysis::identity),
+                BackendSel::Auto => match self.run_fresh(&ExactMarkov, net, warm.as_deref_mut()) {
                     Err(GtpnError::StateSpaceExceeded { .. }) => {
                         self.count_miss();
-                        self.run_fresh(&DesEstimate, net).map(Analysis::identity)
+                        self.run_fresh(&DesEstimate, net, None)
+                            .map(Analysis::identity)
                     }
                     other => other.map(Analysis::identity),
                 },
@@ -810,20 +1052,21 @@ impl AnalysisEngine {
 
         let canon = canonical::canonicalize(net);
         let fp = canonical::fingerprint_canonical(&canon.net);
-        let solve_cached = |backend: &dyn Backend| -> Result<Analysis, GtpnError> {
-            self.count_miss();
-            let data = self.run_fresh(backend, net)?;
-            self.insert(backend.kind(), &canon, fp, &data);
-            Ok(Analysis::identity(data))
-        };
+        let solve_cached =
+            |backend: &dyn Backend, warm: Option<&mut WarmStart>| -> Result<Analysis, GtpnError> {
+                self.count_miss();
+                let data = self.run_fresh(backend, net, warm)?;
+                self.insert(backend.kind(), &canon, fp, &data);
+                Ok(Analysis::identity(data))
+            };
         match self.cfg.backend {
             BackendSel::Exact => match self.probe(BackendKind::Exact, &canon, fp) {
                 Some(hit) => Ok(hit),
-                None => solve_cached(&ExactMarkov),
+                None => solve_cached(&ExactMarkov, warm),
             },
             BackendSel::Des => match self.probe(BackendKind::Des, &canon, fp) {
                 Some(hit) => Ok(hit),
-                None => solve_cached(&DesEstimate),
+                None => solve_cached(&DesEstimate, None),
             },
             BackendSel::Auto => {
                 if let Some(hit) = self.probe(BackendKind::Exact, &canon, fp) {
@@ -832,8 +1075,8 @@ impl AnalysisEngine {
                 if let Some(hit) = self.probe(BackendKind::Des, &canon, fp) {
                     return Ok(hit);
                 }
-                match solve_cached(&ExactMarkov) {
-                    Err(GtpnError::StateSpaceExceeded { .. }) => solve_cached(&DesEstimate),
+                match solve_cached(&ExactMarkov, warm) {
+                    Err(GtpnError::StateSpaceExceeded { .. }) => solve_cached(&DesEstimate, None),
                     other => other,
                 }
             }
@@ -1006,6 +1249,7 @@ mod tests {
                     batches: 3,
                 },
                 par_solve: false,
+                warm_start: true,
             })
         };
         // Budget exactly at the state count: exact backend.

@@ -69,6 +69,7 @@
 
 mod error;
 mod expr;
+mod lru;
 mod net;
 mod reach;
 mod solve;

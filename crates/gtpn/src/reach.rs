@@ -346,6 +346,39 @@ impl ReachabilityGraph {
         Solution::solve_red_black_with(self, tolerance, max_sweeps, workspace, workers)
     }
 
+    /// Estimated resident bytes of this graph — what a cache entry holding
+    /// it costs. An estimate (allocator overhead and small fields are
+    /// approximated per node), used to enforce the `HSIPC_CACHE_MB` budget.
+    pub fn resident_bytes(&self) -> usize {
+        let state_bytes: usize = self
+            .states
+            .iter()
+            .map(|s| 64 + 4 * s.marking.len() + 16 * s.firings.len())
+            .sum();
+        let edge_bytes: usize = self.edges.iter().map(|e| 32 + 16 * e.len()).sum();
+        state_bytes + edge_bytes + 8 * self.sojourn.len() + self.fired.len() + 256
+    }
+
+    /// Fingerprint of the chain's *shape*: state count, sojourns and edge
+    /// targets — everything except the transition probabilities. Two sweep
+    /// grid neighbors that differ only in a rate share a shape, so a
+    /// converged solution for one is a valid warm start for the other
+    /// (`gtpn::engine`'s warm-start slots key on this).
+    pub fn shape_fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.states.len().hash(&mut h);
+        self.sojourn.hash(&mut h);
+        for edges in &self.edges {
+            edges.len().hash(&mut h);
+            for &(succ, _) in edges {
+                succ.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// The maximum reachable token count of `place` — its bound. A net is
     /// k-bounded when every place's bound is ≤ k. (Tokens held in transit by
     /// in-progress firings are not in any place and are not counted.)

@@ -102,6 +102,7 @@ pub fn default_engine() -> &'static AnalysisEngine {
             state_budget: STATE_BUDGET,
             des: DesOptions::default(),
             par_solve: gtpn::par::par_solve_enabled(),
+            warm_start: gtpn::engine::warm_start_enabled(),
         })
     })
 }
@@ -109,5 +110,15 @@ pub fn default_engine() -> &'static AnalysisEngine {
 /// Analyzes a chapter-6 net through `engine`; the single choke point every
 /// model solve in this crate funnels through.
 pub(crate) fn analyze_in(engine: &AnalysisEngine, net: &gtpn::Net) -> Result<Analysis, ModelError> {
-    Ok(engine.analyze(net)?)
+    analyze_warm_in(engine, net, None)
+}
+
+/// As [`analyze_in`], threading an explicit warm-start store — used by the
+/// §6.6.3 fixed point, whose successive same-shape solves seed each other.
+pub(crate) fn analyze_warm_in(
+    engine: &AnalysisEngine,
+    net: &gtpn::Net,
+    warm: Option<&mut gtpn::engine::WarmStart>,
+) -> Result<Analysis, ModelError> {
+    Ok(engine.analyze_warm(net, warm)?)
 }

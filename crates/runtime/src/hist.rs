@@ -1,15 +1,56 @@
-//! A concurrent log-bucketed latency histogram.
+//! A concurrent log-linear latency histogram.
 //!
 //! Round-trip latencies span three decades (tens of microseconds uncontended
-//! to tens of milliseconds under a 64-conversation backlog), so buckets are
-//! powers of two of nanoseconds: `bucket = floor(log2(ns))`. Recording is a
-//! single relaxed fetch-add per sample — cheap enough to sit on the client
-//! hot path of every host thread.
+//! to tens of milliseconds under a 64-conversation backlog), so the bucket
+//! grid must be logarithmic — but pure powers of two are too coarse at the
+//! top: a 64-conversation run puts *every* sample inside one `[33.5 ms,
+//! 67.1 ms)` bucket, and p50, p95 and p99 all collapse to the same bucket
+//! midpoint. Each power of two is therefore split into 16 linear
+//! sub-buckets (the HDR-histogram layout at 4 significant bits): relative
+//! bucket width is bounded by 1/16 everywhere, so quantiles resolve to
+//! ~6% at any magnitude, and [`Histogram::quantile_us`] interpolates
+//! linearly inside the landing bucket on top of that. Recording stays a
+//! couple of shifts plus a relaxed fetch-add per sample — cheap enough for
+//! the client hot path of every host thread.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-const BUCKETS: usize = 64;
+/// Sub-bucket resolution: each power of two splits into `2^SUB_BITS`
+/// linear sub-buckets.
+const SUB_BITS: u32 = 4;
+
+/// Sub-buckets per power of two.
+const SUBS: usize = 1 << SUB_BITS;
+
+/// Total buckets: one unit-wide bucket per value below [`SUBS`], then 16
+/// sub-buckets for each exponent `SUB_BITS..64`.
+const BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// Bucket index of a sample of `ns` nanoseconds.
+fn bucket_index(ns: u64) -> usize {
+    if ns < SUBS as u64 {
+        ns as usize
+    } else {
+        let exp = 63 - ns.leading_zeros() as usize;
+        let shift = exp - SUB_BITS as usize;
+        let sub = ((ns >> shift) as usize) & (SUBS - 1);
+        SUBS + shift * SUBS + sub
+    }
+}
+
+/// Lower bound and width of bucket `index`, in nanoseconds. The bucket
+/// covers `[low, low + width)`.
+fn bucket_bounds(index: usize) -> (f64, f64) {
+    if index < SUBS {
+        (index as f64, 1.0)
+    } else {
+        let shift = (index - SUBS) / SUBS;
+        let sub = (index - SUBS) % SUBS;
+        let width = (1u64 << shift) as f64;
+        ((SUBS + sub) as f64 * width, width)
+    }
+}
 
 /// A lock-free histogram of durations.
 #[derive(Debug)]
@@ -35,8 +76,7 @@ impl Histogram {
     /// Records one sample.
     pub fn record(&self, sample: Duration) {
         let ns = (sample.as_nanos() as u64).max(1);
-        let bucket = 63 - ns.leading_zeros() as usize;
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
@@ -61,24 +101,34 @@ impl Histogram {
         self.max_ns.load(Ordering::Relaxed) as f64 / 1_000.0
     }
 
-    /// Approximate `q`-quantile in microseconds: the geometric midpoint of
-    /// the bucket containing the `q`-th sample, clamped to the observed
-    /// maximum so an estimate never exceeds a real sample (0 with no
-    /// samples).
+    /// Approximate `q`-quantile in microseconds: linear interpolation by
+    /// rank inside the bucket holding the `q`-th sample (0 with no
+    /// samples). Distinct ranks landing in one bucket still get distinct,
+    /// ordered estimates — the property the coarse power-of-two histogram
+    /// lost for tightly clustered tails. The bucket's upper edge is capped
+    /// at the observed maximum (no sample lies beyond it, and the cap
+    /// keeps tail estimates both below `max` and strictly ordered instead
+    /// of collapsing onto a clamp).
     pub fn quantile_us(&self, q: f64) -> f64 {
         let n = self.count();
         if n == 0 {
             return 0.0;
         }
         let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let max_ns = self.max_ns.load(Ordering::Relaxed) as f64;
         let mut seen = 0u64;
-        for (bucket, slot) in self.buckets.iter().enumerate() {
-            seen += slot.load(Ordering::Relaxed);
-            if seen >= target {
-                // Bucket spans [2^b, 2^(b+1)) ns; report sqrt(2)·2^b.
-                let mid = (1u128 << bucket) as f64 * std::f64::consts::SQRT_2 / 1_000.0;
-                return mid.min(self.max_us());
+        for (index, slot) in self.buckets.iter().enumerate() {
+            let c = slot.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= target {
+                let (low, width) = bucket_bounds(index);
+                let high = (low + width).min(max_ns);
+                let frac = (target - seen) as f64 / c as f64;
+                return (low + (high - low) * frac) / 1_000.0;
+            }
+            seen += c;
         }
         self.max_us()
     }
@@ -89,9 +139,9 @@ impl Histogram {
         self.buckets
             .iter()
             .enumerate()
-            .filter_map(|(b, slot)| {
+            .filter_map(|(index, slot)| {
                 let n = slot.load(Ordering::Relaxed);
-                (n > 0).then(|| ((1u128 << b) as f64 / 1_000.0, n))
+                (n > 0).then(|| (bucket_bounds(index).0 / 1_000.0, n))
             })
             .collect()
     }
@@ -100,6 +150,25 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn buckets_partition_the_line() {
+        // Every bucket's upper edge is the next bucket's lower edge, and
+        // boundary values land in the bucket that owns them.
+        for index in 0..BUCKETS - 1 {
+            let (low, width) = bucket_bounds(index);
+            let (next_low, _) = bucket_bounds(index + 1);
+            assert_eq!(low + width, next_low, "gap after bucket {index}");
+        }
+        for ns in [1u64, 15, 16, 17, 255, 256, 1 << 20, (1 << 20) + 12345] {
+            let (low, width) = bucket_bounds(bucket_index(ns));
+            assert!(
+                low <= ns as f64 && (ns as f64) < low + width,
+                "ns={ns} misfiled into [{low}, {})",
+                low + width
+            );
+        }
+    }
 
     #[test]
     fn quantiles_bracket_the_samples() {
@@ -114,6 +183,31 @@ mod tests {
         assert!(p99 >= 2_560.0, "p99 {p99}");
         assert!((h.max_us() - 5_120.0).abs() < 1.0);
         assert!(h.mean_us() > 900.0 && h.mean_us() < 1_100.0);
+    }
+
+    #[test]
+    fn clustered_tail_quantiles_stay_ordered() {
+        // The regression that motivated the sub-buckets: a contended run
+        // puts all samples between 34 ms and 64 ms — one power-of-two
+        // bucket. The log-linear grid plus interpolation must still
+        // separate the quantiles, strictly and in order.
+        let h = Histogram::default();
+        for i in 0..100u64 {
+            h.record(Duration::from_micros(34_000 + i * 300));
+        }
+        let (p50, p95, p99) = (
+            h.quantile_us(0.50),
+            h.quantile_us(0.95),
+            h.quantile_us(0.99),
+        );
+        assert!(p50 < p95, "p50 {p50} !< p95 {p95}");
+        assert!(p95 < p99, "p95 {p95} !< p99 {p99}");
+        assert!((30_000.0..70_000.0).contains(&p50), "p50 {p50}");
+        // Each estimate is within one sub-bucket (~6%) of the true rank
+        // statistic.
+        assert!((p50 - 49_000.0).abs() < 49_000.0 * 0.07, "p50 {p50}");
+        assert!((p95 - 62_500.0).abs() < 62_500.0 * 0.07, "p95 {p95}");
+        assert!(p99 <= h.max_us());
     }
 
     #[test]

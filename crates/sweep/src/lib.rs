@@ -202,13 +202,21 @@ impl<P> Grid<P> {
     /// through the same engine, so structurally-identical nets across
     /// points hit one canonical solution cache no matter which worker
     /// claims them.
+    ///
+    /// Each worker additionally carries the caller's cache partition (so
+    /// an overflowing sweep evicts its own cache entries first, not
+    /// another experiment's) and — when the engine has warm starts
+    /// enabled — an ambient [`gtpn::engine::WarmStart`] store: consecutive
+    /// points solved by one worker hand their converged solutions to the
+    /// next same-shape solve. The store is scoped to this evaluation by a
+    /// token, so solves outside any sweep always start cold.
     pub fn eval_in<O, F>(&self, engine: &gtpn::AnalysisEngine, f: F) -> Vec<O>
     where
         P: Sync,
         O: Send,
         F: Fn(&gtpn::AnalysisEngine, &P) -> O + Sync,
     {
-        map(&self.points, |p| f(engine, p))
+        self.eval_in_with(engine, exec_mode(), threads(), f)
     }
 
     /// As [`Grid::eval_in`] with an explicit mode and thread count.
@@ -224,7 +232,23 @@ impl<P> Grid<P> {
         O: Send,
         F: Fn(&gtpn::AnalysisEngine, &P) -> O + Sync,
     {
-        map_with(mode, threads, &self.points, |p| f(engine, p))
+        let token = gtpn::engine::warm_token();
+        let warm = engine.config().warm_start;
+        let part = gtpn::cache::current_partition();
+        let out = map_with(mode, threads, &self.points, |p| {
+            let _part = gtpn::cache::enter_partition(part);
+            if warm {
+                gtpn::engine::warm_point_begin(token);
+            }
+            f(engine, p)
+        });
+        // Sequential evaluation ran on this thread: drop its store so
+        // later direct `analyze` calls start cold. (Pool workers took
+        // theirs to the grave with their thread-locals.)
+        if warm {
+            gtpn::engine::warm_end(token);
+        }
+        out
     }
 }
 

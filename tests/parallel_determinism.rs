@@ -25,6 +25,10 @@ fn engine(cores: usize, par_solve: bool) -> AnalysisEngine {
         state_budget: models::STATE_BUDGET,
         des: DesOptions::default(),
         par_solve,
+        // Warm starting must not break budget invariance: the §6.6.3
+        // stores travel with the fixed point's closures, not with the
+        // threads the budget happens to grant.
+        warm_start: true,
     })
     .with_cache(256)
     .with_budget(Arc::new(ParallelBudget::new(cores)))
