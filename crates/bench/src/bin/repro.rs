@@ -41,6 +41,7 @@ fn main() -> ExitCode {
         eprintln!("  table6.1, table6.2, table6.4..table6.25, fig6.7..fig6.23, fig7.1, fig7.scale");
         eprintln!("live flags: [--arch I|II|III|IV|all] [--nodes N] [--conversations N]");
         eprintln!("  [--duration-ms N] [--scale F] [--buffers N] [--remote] [--no-json]");
+        eprintln!("  [--clock real|virtual|both]  (flags also accept --flag=value)");
         return ExitCode::from(2);
     }
     if args[0] == "live" {
@@ -130,22 +131,35 @@ fn main() -> ExitCode {
     }
 }
 
-/// `repro live`: executes the requested architectures on real threads
-/// under load and prints the measured throughput and latency. Not part of
-/// `repro all` — live output is wall-clock-dependent, and `repro all`'s
-/// stdout is kept byte-identical for the golden-output check.
+/// `repro live`: executes the requested architectures under load and
+/// prints the measured throughput and latency. Not part of `repro all` —
+/// real-clock live output is wall-clock-dependent, and `repro all`'s
+/// stdout is kept byte-identical for the golden-output check. (Virtual
+/// runs *are* deterministic; CI diffs their stdout directly.)
 fn run_live(args: &[String]) -> ExitCode {
-    let mut archs: Option<Vec<runtime::Architecture>> = match std::env::var("HSIPC_LIVE_ARCH") {
-        Ok(v) => match parse_archs(&v) {
-            Some(a) => Some(a),
-            None => {
-                eprintln!("HSIPC_LIVE_ARCH: unknown architecture `{v}`");
-                return ExitCode::from(2);
-            }
-        },
-        Err(_) => None,
+    // Accept both `--flag value` and `--flag=value`.
+    let args: Vec<String> = args
+        .iter()
+        .flat_map(
+            |a| match a.strip_prefix("--").and_then(|r| r.split_once('=')) {
+                Some((flag, value)) => vec![format!("--{flag}"), value.to_string()],
+                None => vec![a.clone()],
+            },
+        )
+        .collect();
+    // Environment first (validated: typos and malformed values are hard
+    // errors), CLI flags override.
+    let env = match runtime::LiveEnv::from_env() {
+        Ok(env) => env,
+        Err(e) => {
+            eprintln!("repro live: {e}");
+            return ExitCode::from(2);
+        }
     };
-    let mut base = runtime::Config::from_env(runtime::Architecture::Uniprocessor);
+    let mut archs = env.archs.clone();
+    let mut base = runtime::Config::new(runtime::Architecture::Uniprocessor);
+    env.apply(&mut base);
+    let mut modes = vec![base.clock];
     let mut json = true;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -156,10 +170,7 @@ fn run_live(args: &[String]) -> ExitCode {
         };
         let result: Result<(), String> = (|| {
             match flag.as_str() {
-                "--arch" => {
-                    let v = value("--arch")?;
-                    archs = Some(parse_archs(&v).ok_or(format!("unknown architecture `{v}`"))?);
-                }
+                "--arch" => archs = Some(runtime::env::parse_archs(&value("--arch")?)?),
                 "--nodes" => base.nodes = parse(&value("--nodes")?, "--nodes")?,
                 "--conversations" => {
                     base.conversations = parse(&value("--conversations")?, "--conversations")?;
@@ -172,6 +183,13 @@ fn run_live(args: &[String]) -> ExitCode {
                 }
                 "--scale" => base.scale = parse(&value("--scale")?, "--scale")?,
                 "--buffers" => base.buffers = parse(&value("--buffers")?, "--buffers")?,
+                "--clock" => {
+                    let v = value("--clock")?;
+                    modes = match v.as_str() {
+                        "both" => vec![runtime::ClockMode::Real, runtime::ClockMode::Virtual],
+                        other => vec![other.parse::<runtime::ClockMode>()?],
+                    };
+                }
                 "--remote" => base.locality = runtime::Locality::NonLocal,
                 "--no-json" => json = false,
                 other => return Err(format!("unknown flag `{other}` (try `repro --help`)")),
@@ -188,62 +206,102 @@ fn run_live(args: &[String]) -> ExitCode {
         base.nodes = 2;
     }
 
-    println!(
-        "live runtime: {} conversation(s)/node x {} node(s), {} traffic, X = {:.0} us, scale {}, {} ms load",
-        base.conversations,
-        base.nodes,
-        match base.locality {
-            runtime::Locality::Local => "local",
-            runtime::Locality::NonLocal => "non-local",
-        },
-        base.server_compute_us,
-        base.scale,
-        base.duration.as_millis(),
-    );
-    println!(
-        "{:<5} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}  shutdown",
-        "arch",
-        "roundtrips",
-        "thru/ms",
-        "mean_us",
-        "p50_us",
-        "p95_us",
-        "p99_us",
-        "max_us",
-        "stalls",
-        "frames"
-    );
-    let mut reports = Vec::with_capacity(archs.len());
+    let mut reports = Vec::with_capacity(modes.len() * archs.len());
     let mut failed = false;
-    for arch in archs {
-        let mut config = base.clone();
-        config.architecture = arch;
-        let report = runtime::run(&config);
-        println!(
-            "{:<5} {:>11} {:>9.2} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>7} {:>7}  {}",
-            arch.label(),
-            report.round_trips,
-            report.throughput_per_ms,
-            report.latency.mean_us,
-            report.latency.p50_us,
-            report.latency.p95_us,
-            report.latency.p99_us,
-            report.latency.max_us,
-            report.buffer_stalls,
-            report.ring_frames,
-            if report.clean_shutdown {
-                "clean"
-            } else {
-                "UNCLEAN"
-            }
-        );
-        if report.round_trips == 0 || !report.clean_shutdown {
-            failed = true;
+    for (i, &mode) in modes.iter().enumerate() {
+        if i > 0 {
+            println!();
         }
-        reports.push(report);
+        base.clock = mode;
+        println!(
+            "live runtime: {} conversation(s)/node x {} node(s), {} traffic, X = {:.0} us, scale {}, {} ms load, {} clock",
+            base.conversations,
+            base.nodes,
+            match base.locality {
+                runtime::Locality::Local => "local",
+                runtime::Locality::NonLocal => "non-local",
+            },
+            base.server_compute_us,
+            base.scale,
+            base.duration.as_millis(),
+            mode,
+        );
+        println!(
+            "{:<5} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7}  shutdown",
+            "arch",
+            "roundtrips",
+            "thru/ms",
+            "mean_us",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "max_us",
+            "stalls",
+            "frames"
+        );
+        for &arch in &archs {
+            let mut config = base.clone();
+            config.architecture = arch;
+            let report = runtime::run(&config);
+            println!(
+                "{:<5} {:>11} {:>9.2} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>7} {:>7}  {}",
+                arch.label(),
+                report.round_trips,
+                report.throughput_per_ms,
+                report.latency.mean_us,
+                report.latency.p50_us,
+                report.latency.p95_us,
+                report.latency.p99_us,
+                report.latency.max_us,
+                report.buffer_stalls,
+                report.ring_frames,
+                if report.clean_shutdown {
+                    "clean"
+                } else {
+                    "UNCLEAN"
+                }
+            );
+            if mode == runtime::ClockMode::Virtual {
+                // Wall-clock speedup goes to stderr: virtual stdout stays
+                // byte-deterministic for the CI diff legs.
+                eprintln!(
+                    "virtual {}: {:.3} s simulated in {:.3} s wall ({:.0}x)",
+                    arch.label(),
+                    report.elapsed.as_secs_f64(),
+                    report.wall.as_secs_f64(),
+                    report.elapsed.as_secs_f64() / report.wall.as_secs_f64().max(1e-9),
+                );
+            }
+            if report.round_trips == 0 || !report.clean_shutdown {
+                failed = true;
+            }
+            reports.push(report);
+        }
+        // The real clock's error bars: how far OS sleeps overshot each
+        // activity class's requested occupancy.
+        if mode == runtime::ClockMode::Real {
+            println!("sleep overshoot (real clock; requested vs actual occupancy):");
+            println!(
+                "{:<5} {:<24} {:>9} {:>13} {:>13} {:>13}",
+                "arch", "class", "calls", "requested_us", "actual_us", "mean_over_us"
+            );
+            for report in reports.iter().filter(|r| r.clock == mode) {
+                for row in &report.overshoot {
+                    println!(
+                        "{:<5} {:<24} {:>9} {:>13.1} {:>13.1} {:>13.2}",
+                        report.architecture.label(),
+                        row.class,
+                        row.count,
+                        row.requested_us,
+                        row.actual_us,
+                        row.mean_overshoot_us(),
+                    );
+                }
+            }
+        }
     }
     if json {
-        let out = live_json(&base, &reports);
+        let out = live_json(&base, &modes, &reports);
         match std::fs::write("BENCH_runtime.json", &out) {
             Ok(()) => eprintln!("wrote BENCH_runtime.json"),
             Err(e) => eprintln!("could not write BENCH_runtime.json: {e}"),
@@ -261,20 +319,12 @@ fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("{flag}: bad value `{s}`"))
 }
 
-fn parse_archs(s: &str) -> Option<Vec<runtime::Architecture>> {
-    use runtime::Architecture::*;
-    Some(match s {
-        "all" | "ALL" => runtime::Architecture::ALL.to_vec(),
-        "I" | "1" => vec![Uniprocessor],
-        "II" | "2" => vec![MessageCoprocessor],
-        "III" | "3" => vec![SmartBus],
-        "IV" | "4" => vec![PartitionedSmartBus],
-        _ => return None,
-    })
-}
-
 /// The machine-readable `repro live` report.
-fn live_json(base: &runtime::Config, reports: &[runtime::RunReport]) -> String {
+fn live_json(
+    base: &runtime::Config,
+    modes: &[runtime::ClockMode],
+    reports: &[runtime::RunReport],
+) -> String {
     let mut rows = String::from("[");
     for (i, r) in reports.iter().enumerate() {
         if i > 0 {
@@ -283,8 +333,10 @@ fn live_json(base: &runtime::Config, reports: &[runtime::RunReport]) -> String {
         let _ = write!(
             rows,
             concat!(
-                "{{\"architecture\": \"{arch}\", \"round_trips\": {rts}, ",
+                "{{\"architecture\": \"{arch}\", \"clock\": \"{clock}\", ",
+                "\"round_trips\": {rts}, ",
                 "\"elapsed_seconds\": {elapsed:.4}, ",
+                "\"wall_seconds\": {wall:.4}, ",
                 "\"throughput_per_ms\": {tp:.4}, ",
                 "\"latency_us\": {{\"mean\": {mean:.2}, \"p50\": {p50:.2}, ",
                 "\"p95\": {p95:.2}, \"p99\": {p99:.2}, \"max\": {max:.2}}}, ",
@@ -292,8 +344,10 @@ fn live_json(base: &runtime::Config, reports: &[runtime::RunReport]) -> String {
                 "\"clean_shutdown\": {clean}}}"
             ),
             arch = r.architecture.label(),
+            clock = r.clock,
             rts = r.round_trips,
             elapsed = r.elapsed.as_secs_f64(),
+            wall = r.wall.as_secs_f64(),
             tp = r.throughput_per_ms,
             mean = r.latency.mean_us,
             p50 = r.latency.p50_us,
@@ -306,10 +360,18 @@ fn live_json(base: &runtime::Config, reports: &[runtime::RunReport]) -> String {
         );
     }
     rows.push(']');
+    let mut clock_modes = String::from("[");
+    for (i, mode) in modes.iter().enumerate() {
+        if i > 0 {
+            clock_modes.push_str(", ");
+        }
+        let _ = write!(clock_modes, "\"{mode}\"");
+    }
+    clock_modes.push(']');
     format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"hsipc-bench-runtime/v1\",\n",
+            "  \"schema\": \"hsipc-bench-runtime/v2\",\n",
             "  \"workload\": {{\n",
             "    \"nodes\": {nodes},\n",
             "    \"conversations_per_node\": {convs},\n",
@@ -317,7 +379,8 @@ fn live_json(base: &runtime::Config, reports: &[runtime::RunReport]) -> String {
             "    \"server_compute_us\": {x},\n",
             "    \"scale\": {scale},\n",
             "    \"buffers\": {buffers},\n",
-            "    \"duration_ms\": {dur}\n",
+            "    \"duration_ms\": {dur},\n",
+            "    \"clock_modes\": {clocks}\n",
             "  }},\n",
             "  \"runs\": {rows}\n",
             "}}\n",
@@ -332,6 +395,7 @@ fn live_json(base: &runtime::Config, reports: &[runtime::RunReport]) -> String {
         scale = base.scale,
         buffers = base.buffers,
         dur = base.duration.as_millis(),
+        clocks = clock_modes,
         rows = rows,
     )
 }

@@ -1,0 +1,786 @@
+//! Pluggable time: the live stack runs on a [`ClockSystem`] that is either
+//! the wall clock or a conservative discrete-event virtual clock.
+//!
+//! # Real mode
+//!
+//! [`ClockMode::Real`] reproduces the original runtime behavior: occupancy
+//! spins (short activities) or sleeps (long ones) for the activity's
+//! wall-clock time, timestamps come from [`Instant`], and idle threads park
+//! on a condvar-backed [`Bell`] with a timeout. Real occupancy additionally
+//! records *sleep overshoot* per activity class — the OS never wakes a
+//! sleeper exactly on time, and the requested-vs-actual ledger
+//! ([`ClockSystem::overshoot_report`]) puts error bars on every real-time
+//! measurement.
+//!
+//! # Virtual mode
+//!
+//! [`ClockMode::Virtual`] replaces waiting with bookkeeping. Every thread of
+//! the live runtime registers as an *actor* with its own logical clock;
+//! occupancy advances that clock by the activity's time instead of burning
+//! it. A conservative coordinator owns the global virtual-time frontier:
+//!
+//! * **Frontier rule.** At most one actor executes at a time — the one with
+//!   the minimum `(clock, actor_id)` among runnable actors. An actor may
+//!   only act at time `t` once every peer has committed to a clock `>= t`
+//!   (peers blocked on a [`Bell`] are exempt: any future wake they receive
+//!   carries the ringer's clock, which is `>=` the frontier, so no event in
+//!   their past can still be generated).
+//! * **Rendezvous.** Ringing a [`Bell`] stamps the ring with the ringer's
+//!   clock and makes every actor blocked on that bell runnable *at the ring
+//!   time*: a woken waiter's clock jumps forward to the instant the work
+//!   arrived. Because the executing actor is always the frontier minimum,
+//!   ring timestamps are non-decreasing, so the first ring a blocked actor
+//!   receives is also the earliest — it can never miss an earlier event.
+//! * **Determinism.** Actors are registered in a fixed order before any
+//!   thread starts, ties break on actor id, and queue operations happen
+//!   only while holding the execution token, so the entire interleaving —
+//!   and therefore every measured number — is a pure function of the
+//!   configuration. Same config ⇒ byte-identical output, independent of
+//!   machine load, core count, or `HSIPC_SWEEP`-style thread settings.
+//! * **Deadlock.** If every live actor is blocked, no ring can ever arrive
+//!   (only executing actors ring) and the frontier is stuck. The
+//!   coordinator detects this and poisons the clock: every blocked actor
+//!   panics with a diagnostic instead of hanging forever. A clock that can
+//!   never advance is an error, not a hang.
+//!
+//! The payoff: `occupy_us(1140.0)` costs nanoseconds instead of 1.14 ms, so
+//! the same node/kernel/queue code that sustains ~500 round trips per
+//! wall-second in real mode simulates 64+ nodes and 100k+ conversations in
+//! seconds.
+
+use archsim::timings::ActivityKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Which time base drives a live run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Wall-clock occupancy: activities spin/sleep for their measured time.
+    #[default]
+    Real,
+    /// Conservative discrete-event virtual time: activities advance logical
+    /// clocks; threads rendezvous on virtual timestamps.
+    Virtual,
+}
+
+impl ClockMode {
+    /// Lower-case label (`real` / `virtual`), as accepted by `--clock`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClockMode::Real => "real",
+            ClockMode::Virtual => "virtual",
+        }
+    }
+}
+
+impl std::str::FromStr for ClockMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ClockMode, String> {
+        match s {
+            "real" => Ok(ClockMode::Real),
+            "virtual" => Ok(ClockMode::Virtual),
+            other => Err(format!("unknown clock mode `{other}` (real|virtual)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ClockMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Occupancy classes tracked by the overshoot ledger: the thirteen
+/// [`ActivityKind`]s (indices from [`crate::cost`]) plus server compute.
+pub(crate) const CLASSES: usize = 14;
+
+/// Class index of the workload's server compute time (the X of §6.3).
+pub(crate) const CLASS_COMPUTE: usize = 13;
+
+/// Display labels, indexed like [`crate::cost::kind_index`] with
+/// [`CLASS_COMPUTE`] last.
+const CLASS_LABELS: [&str; CLASSES] = [
+    "SyscallSend",
+    "ProcessSend",
+    "DmaOut",
+    "SyscallReceive",
+    "ProcessReceive",
+    "DmaIn",
+    "Match",
+    "RestartServer",
+    "SyscallReply",
+    "ProcessReply",
+    "RestartServerAfterReply",
+    "CleanupClient",
+    "RestartClient",
+    "ServerCompute",
+];
+
+/// Overshoot class of an activity kind.
+pub(crate) fn class_of(kind: ActivityKind) -> usize {
+    crate::cost::kind_index(kind)
+}
+
+/// Requested-vs-actual occupancy of one activity class under the real
+/// clock (virtual occupancy is exact by construction and records nothing).
+#[derive(Debug, Clone, Copy)]
+pub struct OvershootRow {
+    /// Activity class label (an [`ActivityKind`] name or `ServerCompute`).
+    pub class: &'static str,
+    /// Occupancy calls in this class.
+    pub count: u64,
+    /// Total requested occupancy, microseconds.
+    pub requested_us: f64,
+    /// Total measured occupancy, microseconds.
+    pub actual_us: f64,
+}
+
+impl OvershootRow {
+    /// Mean per-call overshoot (actual − requested), microseconds.
+    pub fn mean_overshoot_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.actual_us - self.requested_us) / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct OvershootCell {
+    count: AtomicU64,
+    requested_ns: AtomicU64,
+    actual_ns: AtomicU64,
+}
+
+/// Ceiling below which real occupancy spins instead of sleeping: OS sleep
+/// overshoot (tens of microseconds on a virtualized host) would swamp a
+/// short activity, while a sub-30 µs spin steals negligible time from
+/// other threads timesharing the core.
+const SPIN_CEILING_US: f64 = 30.0;
+
+/// What a virtual actor is doing, as the coordinator sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ActorMode {
+    /// Holds the execution token; the only actor running code.
+    Executing,
+    /// Runnable at its clock; waiting to be the frontier minimum.
+    Waiting,
+    /// Parked on the bell with this id until rung.
+    Blocked(usize),
+    /// Retired; no longer constrains the frontier.
+    Gone,
+}
+
+#[derive(Debug)]
+struct ActorSlot {
+    clock_ns: u64,
+    mode: ActorMode,
+    cv: Arc<Condvar>,
+}
+
+#[derive(Debug)]
+struct VState {
+    actors: Vec<ActorSlot>,
+    bell_epochs: Vec<u64>,
+    /// The actor currently holding the execution token, if any.
+    executing: Option<usize>,
+    /// High-water mark of granted clocks — the ring timestamp used when an
+    /// external (non-actor) thread rings during shutdown.
+    frontier_ns: u64,
+    /// Set when every live actor is blocked: the frontier can never
+    /// advance, so all waits panic instead of hanging.
+    poisoned: bool,
+}
+
+impl VState {
+    /// Hands the execution token to the minimum-`(clock, id)` runnable
+    /// actor, or poisons the clock when only blocked actors remain.
+    fn grant(&mut self) {
+        debug_assert!(self.executing.is_none(), "grant with a live token");
+        let next = self
+            .actors
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.mode == ActorMode::Waiting)
+            .min_by_key(|&(id, a)| (a.clock_ns, id))
+            .map(|(id, _)| id);
+        match next {
+            Some(id) => {
+                self.actors[id].mode = ActorMode::Executing;
+                self.executing = Some(id);
+                self.frontier_ns = self.frontier_ns.max(self.actors[id].clock_ns);
+                self.actors[id].cv.notify_all();
+            }
+            None => {
+                if self
+                    .actors
+                    .iter()
+                    .any(|a| matches!(a.mode, ActorMode::Blocked(_)))
+                {
+                    self.poisoned = true;
+                    for a in &self.actors {
+                        a.cv.notify_all();
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Inner {
+    Real {
+        /// Zero point of [`ClockHandle::now_ns`].
+        epoch: Instant,
+    },
+    Virtual {
+        state: Mutex<VState>,
+    },
+}
+
+/// One run's time base: construct with [`ClockSystem::new`], register every
+/// thread that charges occupancy or waits, then let the handles do the
+/// rest. See the module docs for the two modes.
+#[derive(Debug)]
+pub struct ClockSystem {
+    inner: Inner,
+    overshoot: [OvershootCell; CLASSES],
+}
+
+impl ClockSystem {
+    /// A clock system in the requested mode.
+    pub fn new(mode: ClockMode) -> Arc<ClockSystem> {
+        let inner = match mode {
+            ClockMode::Real => Inner::Real {
+                epoch: Instant::now(),
+            },
+            ClockMode::Virtual => Inner::Virtual {
+                state: Mutex::new(VState {
+                    actors: Vec::new(),
+                    bell_epochs: Vec::new(),
+                    executing: None,
+                    frontier_ns: 0,
+                    poisoned: false,
+                }),
+            },
+        };
+        Arc::new(ClockSystem {
+            inner,
+            overshoot: std::array::from_fn(|_| OvershootCell::default()),
+        })
+    }
+
+    /// The mode this system runs in.
+    pub fn mode(&self) -> ClockMode {
+        match self.inner {
+            Inner::Real { .. } => ClockMode::Real,
+            Inner::Virtual { .. } => ClockMode::Virtual,
+        }
+    }
+
+    /// Registers an actor and returns its handle. **Virtual mode:** all
+    /// registrations must happen, in a deterministic order, before any
+    /// registered thread starts running — actor ids are the determinism
+    /// tie-break. The first registered actor (the coordinator thread
+    /// driving the run) starts with the execution token; all others start
+    /// runnable at clock 0 and block in [`ClockHandle::attach`] until
+    /// granted.
+    pub fn register(self: &Arc<Self>) -> ClockHandle {
+        let actor = match &self.inner {
+            Inner::Real { .. } => 0,
+            Inner::Virtual { state } => {
+                let mut st = lock(state);
+                let id = st.actors.len();
+                let first = id == 0;
+                st.actors.push(ActorSlot {
+                    clock_ns: 0,
+                    mode: if first {
+                        ActorMode::Executing
+                    } else {
+                        ActorMode::Waiting
+                    },
+                    cv: Arc::new(Condvar::new()),
+                });
+                if first {
+                    st.executing = Some(0);
+                }
+                id
+            }
+        };
+        ClockHandle {
+            sys: Arc::clone(self),
+            actor,
+        }
+    }
+
+    /// The recorded requested-vs-actual occupancy per activity class
+    /// (non-empty classes only; empty in virtual mode, where occupancy is
+    /// exact by construction).
+    pub fn overshoot_report(&self) -> Vec<OvershootRow> {
+        self.overshoot
+            .iter()
+            .enumerate()
+            .filter_map(|(class, cell)| {
+                let count = cell.count.load(Ordering::Relaxed);
+                (count > 0).then(|| OvershootRow {
+                    class: CLASS_LABELS[class],
+                    count,
+                    requested_us: cell.requested_ns.load(Ordering::Relaxed) as f64 / 1_000.0,
+                    actual_us: cell.actual_ns.load(Ordering::Relaxed) as f64 / 1_000.0,
+                })
+            })
+            .collect()
+    }
+}
+
+/// Poison-tolerant lock: once the virtual clock itself is poisoned every
+/// participant is about to panic anyway, and the first panic's message
+/// ("virtual clock deadlock…") is the one that should surface.
+fn lock(state: &Mutex<VState>) -> MutexGuard<'_, VState> {
+    state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn deadlock_panic() -> ! {
+    panic!(
+        "virtual clock deadlock: every live actor is blocked on a bell, \
+         so no ring can ever arrive and the frontier can never advance"
+    );
+}
+
+/// One actor's interface to the clock. Cloning is allowed for a single OS
+/// thread that plays several roles (Architecture I's combined loop); two
+/// *threads* sharing a handle would break the execution-token invariant.
+#[derive(Debug, Clone)]
+pub struct ClockHandle {
+    sys: Arc<ClockSystem>,
+    actor: usize,
+}
+
+impl ClockHandle {
+    /// The clock mode.
+    pub fn mode(&self) -> ClockMode {
+        self.sys.mode()
+    }
+
+    /// Whether idle loops should spin-poll before waiting (real mode only:
+    /// a virtual actor polling without a clock op would hold the execution
+    /// token forever).
+    pub fn spins(&self) -> bool {
+        self.mode() == ClockMode::Real
+    }
+
+    /// First call from the owning thread: blocks until the actor holds the
+    /// execution token (virtual), so that everything the thread does is
+    /// serialized into the deterministic order. No-op in real mode.
+    pub fn attach(&self) {
+        if let Inner::Virtual { state } = &self.sys.inner {
+            let mut st = lock(state);
+            let cv = Arc::clone(&st.actors[self.actor].cv);
+            while st.actors[self.actor].mode != ActorMode::Executing {
+                if st.poisoned {
+                    drop(st);
+                    deadlock_panic();
+                }
+                st = cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Nanoseconds since the run's zero point: wall time in real mode, the
+    /// actor's logical clock in virtual mode.
+    pub fn now_ns(&self) -> u64 {
+        match &self.sys.inner {
+            Inner::Real { epoch } => epoch.elapsed().as_nanos() as u64,
+            Inner::Virtual { state } => lock(state).actors[self.actor].clock_ns,
+        }
+    }
+
+    /// Occupies this actor's processor for `us` microseconds of `class`
+    /// work: real mode spins/sleeps (recording overshoot), virtual mode
+    /// advances the logical clock and re-enters the frontier ordering.
+    pub(crate) fn occupy_us(&self, us: f64, class: usize) {
+        if us <= 0.0 {
+            return;
+        }
+        let ns = (us * 1_000.0).round() as u64;
+        match &self.sys.inner {
+            Inner::Real { .. } => {
+                let t0 = Instant::now();
+                if us <= SPIN_CEILING_US {
+                    crate::cost::spin_us(us);
+                } else {
+                    std::thread::sleep(Duration::from_nanos(ns));
+                }
+                let actual = t0.elapsed().as_nanos() as u64;
+                let cell = &self.sys.overshoot[class];
+                cell.count.fetch_add(1, Ordering::Relaxed);
+                cell.requested_ns.fetch_add(ns, Ordering::Relaxed);
+                cell.actual_ns.fetch_add(actual, Ordering::Relaxed);
+            }
+            Inner::Virtual { .. } => self.advance(ns),
+        }
+    }
+
+    /// The run driver's load-phase sleep: wall sleep in real mode, a plain
+    /// clock advance in virtual mode (no overshoot ledger — this is not an
+    /// activity).
+    pub fn sleep(&self, duration: Duration) {
+        match &self.sys.inner {
+            Inner::Real { .. } => std::thread::sleep(duration),
+            Inner::Virtual { .. } => self.advance(duration.as_nanos() as u64),
+        }
+    }
+
+    /// Virtual clock advance: bump own clock, then yield the execution
+    /// token if another runnable actor now has a smaller `(clock, id)`.
+    fn advance(&self, ns: u64) {
+        let Inner::Virtual { state } = &self.sys.inner else {
+            unreachable!("advance is virtual-only");
+        };
+        let mut st = lock(state);
+        debug_assert_eq!(
+            st.executing,
+            Some(self.actor),
+            "occupy by an actor that does not hold the execution token"
+        );
+        st.actors[self.actor].clock_ns += ns;
+        st.actors[self.actor].mode = ActorMode::Waiting;
+        st.executing = None;
+        st.grant();
+        self.wait_for_token(st);
+    }
+
+    /// Waits (on an idle poll that found nothing) until `bell` is rung past
+    /// `epoch`. Real mode parks on the bell's condvar for at most `timeout`
+    /// — a missed ring costs one timeout period. Virtual mode blocks the
+    /// actor with no timeout: it wakes exactly at the next ring, with its
+    /// clock advanced to the ring's virtual timestamp, or panics if the
+    /// clock is poisoned (all actors blocked — see module docs).
+    pub fn wait_past(&self, bell: &Bell, epoch: u64, timeout: Duration) {
+        match (&self.sys.inner, &bell.inner) {
+            (Inner::Real { .. }, BellInner::Real { seq, cv }) => {
+                let guard = seq.lock().expect("bell lock");
+                let _ = cv
+                    .wait_timeout_while(guard, timeout, |s| *s == epoch)
+                    .expect("bell lock");
+            }
+            (Inner::Virtual { state }, BellInner::Virtual { id }) => {
+                let mut st = lock(state);
+                if st.poisoned {
+                    drop(st);
+                    deadlock_panic();
+                }
+                debug_assert_eq!(
+                    st.executing,
+                    Some(self.actor),
+                    "wait by an actor that does not hold the execution token"
+                );
+                if st.bell_epochs[*id] != epoch {
+                    return; // rung since the caller polled: re-poll.
+                }
+                st.actors[self.actor].mode = ActorMode::Blocked(*id);
+                st.executing = None;
+                st.grant();
+                self.wait_for_token(st);
+            }
+            _ => panic!("bell and clock handle belong to different clock systems"),
+        }
+    }
+
+    /// Parks until this actor is granted the execution token.
+    fn wait_for_token(&self, mut st: MutexGuard<'_, VState>) {
+        if st.actors[self.actor].mode == ActorMode::Executing {
+            return; // fast path: still the frontier minimum, no handoff.
+        }
+        let cv = Arc::clone(&st.actors[self.actor].cv);
+        loop {
+            if st.poisoned {
+                drop(st);
+                deadlock_panic();
+            }
+            if st.actors[self.actor].mode == ActorMode::Executing {
+                return;
+            }
+            st = cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Retires the actor: it stops constraining the frontier. Call exactly
+    /// once, from the owning thread, as its last clock operation.
+    pub fn retire(&self) {
+        if let Inner::Virtual { state } = &self.sys.inner {
+            let mut st = lock(state);
+            debug_assert_eq!(
+                st.executing,
+                Some(self.actor),
+                "retire by an actor that does not hold the execution token"
+            );
+            st.actors[self.actor].mode = ActorMode::Gone;
+            st.executing = None;
+            st.grant();
+        }
+    }
+}
+
+#[derive(Debug)]
+enum BellInner {
+    Real { seq: Mutex<u64>, cv: Condvar },
+    Virtual { id: usize },
+}
+
+/// A wakeup channel between actors: ring after publishing work, wait (via
+/// [`ClockHandle::wait_past`]) when a poll finds nothing. Real mode is a
+/// plain condvar doorbell; virtual mode is a rendezvous point of the
+/// coordinator — rings carry the ringer's virtual clock, and waking a
+/// blocked actor advances its clock to the ring time.
+#[derive(Debug)]
+pub struct Bell {
+    sys: Arc<ClockSystem>,
+    inner: BellInner,
+}
+
+impl Bell {
+    /// A bell on the given clock system.
+    pub fn new(sys: &Arc<ClockSystem>) -> Bell {
+        let inner = match &sys.inner {
+            Inner::Real { .. } => BellInner::Real {
+                seq: Mutex::new(0),
+                cv: Condvar::new(),
+            },
+            Inner::Virtual { state } => {
+                let mut st = lock(state);
+                st.bell_epochs.push(0);
+                BellInner::Virtual {
+                    id: st.bell_epochs.len() - 1,
+                }
+            }
+        };
+        Bell {
+            sys: Arc::clone(sys),
+            inner,
+        }
+    }
+
+    /// Current ring count; pass to [`ClockHandle::wait_past`]. Taking the
+    /// epoch *before* polling the queues closes the poll-then-sleep race in
+    /// real mode (in virtual mode the token serializes poll and publish, so
+    /// the race cannot occur, but the protocol is shared).
+    pub fn epoch(&self) -> u64 {
+        match &self.inner {
+            BellInner::Real { seq, .. } => *seq.lock().expect("bell lock"),
+            BellInner::Virtual { id } => {
+                let Inner::Virtual { state } = &self.sys.inner else {
+                    unreachable!();
+                };
+                lock(state).bell_epochs[*id]
+            }
+        }
+    }
+
+    /// Wakes every waiter. Virtual mode stamps the ring with the executing
+    /// actor's clock (the frontier during shutdown, when a retired thread
+    /// rings) and makes every actor blocked on this bell runnable at that
+    /// time.
+    pub fn ring(&self) {
+        match &self.inner {
+            BellInner::Real { seq, cv } => {
+                *seq.lock().expect("bell lock") += 1;
+                cv.notify_all();
+            }
+            BellInner::Virtual { id } => {
+                let Inner::Virtual { state } = &self.sys.inner else {
+                    unreachable!();
+                };
+                let mut st = lock(state);
+                st.bell_epochs[*id] += 1;
+                let at = match st.executing {
+                    Some(actor) => st.actors[actor].clock_ns,
+                    None => st.frontier_ns,
+                };
+                for a in st.actors.iter_mut() {
+                    if a.mode == ActorMode::Blocked(*id) {
+                        a.clock_ns = a.clock_ns.max(at);
+                        a.mode = ActorMode::Waiting;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_labels_match_activity_kind_names() {
+        for kind in [
+            ActivityKind::SyscallSend,
+            ActivityKind::ProcessSend,
+            ActivityKind::DmaOut,
+            ActivityKind::SyscallReceive,
+            ActivityKind::ProcessReceive,
+            ActivityKind::DmaIn,
+            ActivityKind::Match,
+            ActivityKind::RestartServer,
+            ActivityKind::SyscallReply,
+            ActivityKind::ProcessReply,
+            ActivityKind::RestartServerAfterReply,
+            ActivityKind::CleanupClient,
+            ActivityKind::RestartClient,
+        ] {
+            assert_eq!(CLASS_LABELS[class_of(kind)], format!("{kind:?}"));
+        }
+        assert_eq!(CLASS_LABELS[CLASS_COMPUTE], "ServerCompute");
+    }
+
+    #[test]
+    fn real_occupancy_records_overshoot() {
+        let sys = ClockSystem::new(ClockMode::Real);
+        let h = sys.register();
+        h.occupy_us(120.0, CLASS_COMPUTE);
+        h.occupy_us(80.0, CLASS_COMPUTE);
+        let report = sys.overshoot_report();
+        assert_eq!(report.len(), 1);
+        let row = &report[0];
+        assert_eq!(row.class, "ServerCompute");
+        assert_eq!(row.count, 2);
+        assert!((row.requested_us - 200.0).abs() < 1e-9);
+        // The OS may overshoot but never undershoots a sleep.
+        assert!(row.actual_us >= row.requested_us);
+        assert!(row.mean_overshoot_us() >= 0.0);
+    }
+
+    #[test]
+    fn real_bell_wakes_a_waiter() {
+        let sys = ClockSystem::new(ClockMode::Real);
+        let bell = Arc::new(Bell::new(&sys));
+        let epoch = bell.epoch();
+        let waiter = {
+            let (sys, bell) = (Arc::clone(&sys), Arc::clone(&bell));
+            std::thread::spawn(move || {
+                sys.register()
+                    .wait_past(&bell, epoch, Duration::from_secs(10));
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        bell.ring();
+        waiter.join().unwrap();
+        // A stale epoch returns immediately.
+        sys.register()
+            .wait_past(&bell, epoch, Duration::from_secs(10));
+    }
+
+    #[test]
+    fn virtual_occupancy_is_exact_and_free() {
+        let sys = ClockSystem::new(ClockMode::Virtual);
+        let h = sys.register(); // first actor: holds the token.
+        let t0 = Instant::now();
+        h.occupy_us(50_000_000.0, CLASS_COMPUTE); // 50 virtual seconds
+        assert!(t0.elapsed() < Duration::from_secs(5), "virtual time slept");
+        assert_eq!(h.now_ns(), 50_000_000_000);
+        assert!(sys.overshoot_report().is_empty());
+    }
+
+    #[test]
+    fn two_actors_interleave_in_clock_order() {
+        // Actor 0 (the driver) sleeps far ahead; actor 1 runs the past and
+        // rendezvouses with actor 2 on a bell; ring timestamps carry the
+        // ringer's clock.
+        let sys = ClockSystem::new(ClockMode::Virtual);
+        let driver = sys.register();
+        let bell = Arc::new(Bell::new(&sys));
+        let a = sys.register();
+        let b = sys.register();
+        let log: Arc<Mutex<Vec<(&'static str, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let ta = {
+            let (bell, log) = (Arc::clone(&bell), Arc::clone(&log));
+            std::thread::spawn(move || {
+                a.attach();
+                a.occupy_us(300.0, 0);
+                log.lock().unwrap().push(("a-ring", a.now_ns()));
+                bell.ring();
+                a.retire();
+            })
+        };
+        let tb = {
+            let (bell, log) = (Arc::clone(&bell), Arc::clone(&log));
+            std::thread::spawn(move || {
+                b.attach();
+                let epoch = bell.epoch();
+                b.wait_past(&bell, epoch, Duration::from_secs(9));
+                log.lock().unwrap().push(("b-woke", b.now_ns()));
+                b.retire();
+            })
+        };
+        driver.sleep(Duration::from_millis(1)); // 1 ms ≫ 300 µs: runs last
+        driver.retire();
+        ta.join().unwrap();
+        tb.join().unwrap();
+        let log = log.lock().unwrap();
+        // a rang at 300 µs; b woke exactly at the ring's virtual time.
+        assert_eq!(log.as_slice(), &[("a-ring", 300_000), ("b-woke", 300_000)]);
+    }
+
+    #[test]
+    fn deterministic_schedule_across_runs() {
+        let run = || {
+            let sys = ClockSystem::new(ClockMode::Virtual);
+            let driver = sys.register();
+            let order: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let h = sys.register();
+                    let order = Arc::clone(&order);
+                    std::thread::spawn(move || {
+                        h.attach();
+                        for _ in 0..50 {
+                            // Unequal steps force constant reordering.
+                            h.occupy_us(((i * 7) % 5 + 1) as f64, 0);
+                            order.lock().unwrap().push(i);
+                        }
+                        h.retire();
+                    })
+                })
+                .collect();
+            driver.sleep(Duration::from_millis(10));
+            driver.retire();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let order = order.lock().unwrap().clone();
+            order
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn all_blocked_actors_poison_instead_of_hang() {
+        let sys = ClockSystem::new(ClockMode::Virtual);
+        let driver = sys.register();
+        let bell = Arc::new(Bell::new(&sys));
+        let h = sys.register();
+        let waiter = {
+            let bell = Arc::clone(&bell);
+            std::thread::spawn(move || {
+                h.attach();
+                let epoch = bell.epoch();
+                // Nobody will ever ring: once the driver retires, the
+                // coordinator must poison the clock, not hang.
+                h.wait_past(&bell, epoch, Duration::from_secs(600));
+            })
+        };
+        driver.retire();
+        let err = waiter.join().expect_err("deadlocked waiter must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("virtual clock deadlock"), "panic: {msg}");
+    }
+}

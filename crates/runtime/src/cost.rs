@@ -1,4 +1,4 @@
-//! Per-activity processing costs replayed as real wall-clock occupancy.
+//! Per-activity processing costs replayed as processor occupancy.
 //!
 //! The live runtime does not re-measure 1987 hardware; it *replays* the
 //! paper's measured per-activity times (Tables 6.4–6.23, via
@@ -6,20 +6,23 @@
 //! activity — syscall entry on the host, send/receive/reply processing on
 //! the MP, DMA and interrupt handling on the MP's network side. While a
 //! thread is occupied it processes nothing else, so queueing behavior is
-//! faithful; occupancy *sleeps* rather than spins (see [`occupy_us`]), so
-//! two busy processors overlap in wall clock even when the machine has
-//! fewer cores than the node has processors. The throughput ordering of
+//! faithful. *How* the occupancy elapses is the clock's business
+//! ([`crate::clock::ClockHandle`]): the real clock spins or sleeps the
+//! activity's wall time (sleeping so that two busy processors overlap even
+//! when the machine has fewer cores than the node has processors), the
+//! virtual clock advances a logical timestamp. The throughput ordering of
 //! the four architectures then emerges from the paper's own numbers plus
 //! genuinely concurrent execution, which is exactly what the
 //! cross-validation harness checks against the GTPN model's predictions.
 
+use crate::clock::ClockHandle;
 use archsim::timings::{activity_table, ActivityKind, Architecture, Locality};
 use std::time::{Duration, Instant};
 
 /// Number of [`ActivityKind`] variants.
 const KINDS: usize = 13;
 
-fn kind_index(kind: ActivityKind) -> usize {
+pub(crate) fn kind_index(kind: ActivityKind) -> usize {
     match kind {
         ActivityKind::SyscallSend => 0,
         ActivityKind::ProcessSend => 1,
@@ -48,28 +51,6 @@ pub fn spin_us(us: f64) {
     }
 }
 
-/// Ceiling below which occupancy spins instead of sleeping: OS sleep
-/// overshoot (tens of microseconds on a virtualized host) would swamp a
-/// short activity, while a sub-30 µs spin steals negligible time from
-/// other threads timesharing the core.
-const SPIN_CEILING_US: f64 = 30.0;
-
-/// Occupies the calling processor for `us` microseconds.
-///
-/// The occupied thread processes nothing else meanwhile — that is what
-/// makes a busy host a bottleneck — but long activities *sleep* rather
-/// than spin, yielding the core so that concurrently occupied processors
-/// (host and MP, or two nodes' threads) overlap in wall clock even on a
-/// machine with a single CPU. Busy-spinning would serialize them there and
-/// could never show Architecture II beating I.
-pub fn occupy_us(us: f64) {
-    if us <= SPIN_CEILING_US {
-        spin_us(us);
-    } else {
-        std::thread::sleep(Duration::from_nanos((us * 1_000.0) as u64));
-    }
-}
-
 /// Pre-scaled per-kind activity costs for one architecture and locality.
 #[derive(Debug, Clone)]
 pub struct CostModel {
@@ -93,9 +74,9 @@ impl CostModel {
         self.us[kind_index(kind)]
     }
 
-    /// Occupies the calling thread for the activity's time.
-    pub fn charge(&self, kind: ActivityKind) {
-        occupy_us(self.us(kind));
+    /// Occupies the calling thread's clock for the activity's time.
+    pub fn charge(&self, kind: ActivityKind, clock: &ClockHandle) {
+        clock.occupy_us(self.us(kind), crate::clock::class_of(kind));
     }
 }
 

@@ -75,7 +75,14 @@ impl Default for Histogram {
 impl Histogram {
     /// Records one sample.
     pub fn record(&self, sample: Duration) {
-        let ns = (sample.as_nanos() as u64).max(1);
+        self.record_ns(sample.as_nanos() as u64);
+    }
+
+    /// Records one sample given directly in nanoseconds — the form clock
+    /// timestamps arrive in ([`crate::clock::ClockHandle::now_ns`]), real
+    /// or virtual.
+    pub fn record_ns(&self, ns: u64) {
+        let ns = ns.max(1);
         self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);

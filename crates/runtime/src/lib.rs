@@ -29,17 +29,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod cost;
+pub mod env;
 pub mod hist;
 mod node;
 pub mod shm;
 
 pub use archsim::timings::{Architecture, Locality};
+pub use clock::{ClockMode, OvershootRow};
+pub use env::{EnvError, LiveEnv};
 pub use hist::Histogram;
 
+use clock::{Bell, ClockSystem};
 use msgkernel::{Kernel, KernelStats, NodeId, Packet, PriorityList, ServiceAddr, Syscall};
+use netsim::RingNodeId;
 use node::{HostCtx, MpCtx, NodeShared, Role};
-use shm::{Doorbell, NodeShm, TcbSlot};
+use shm::{NodeShm, TcbSlot};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -72,6 +78,10 @@ pub struct Config {
     pub buffers: u16,
     /// How long the drain may take before shutdown is declared unclean.
     pub grace: Duration,
+    /// Time base: wall clock ([`ClockMode::Real`]) or conservative
+    /// discrete-event virtual time ([`ClockMode::Virtual`], deterministic
+    /// and orders of magnitude faster — see [`clock`]).
+    pub clock: ClockMode,
 }
 
 impl Config {
@@ -88,32 +98,22 @@ impl Config {
             scale: 1.0,
             buffers: 32,
             grace: Duration::from_secs(10),
+            clock: ClockMode::Real,
         }
     }
 
-    /// As [`Config::new`], then applies the `HSIPC_LIVE_*` environment
-    /// knobs: `HSIPC_LIVE_CONVERSATIONS`, `HSIPC_LIVE_DURATION_MS`,
-    /// `HSIPC_LIVE_SCALE`, `HSIPC_LIVE_NODES`.
-    pub fn from_env(architecture: Architecture) -> Config {
+    /// As [`Config::new`], then applies the validated `HSIPC_LIVE_*`
+    /// environment knobs (see [`LiveEnv`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError`] when a set variable is malformed or an unknown
+    /// `HSIPC_LIVE_*` variable (a likely typo) is present.
+    pub fn from_env(architecture: Architecture) -> Result<Config, EnvError> {
         let mut config = Config::new(architecture);
-        if let Some(v) = env_parse("HSIPC_LIVE_CONVERSATIONS") {
-            config.conversations = v;
-        }
-        if let Some(v) = env_parse("HSIPC_LIVE_DURATION_MS") {
-            config.duration = Duration::from_millis(v);
-        }
-        if let Some(v) = env_parse("HSIPC_LIVE_SCALE") {
-            config.scale = v;
-        }
-        if let Some(v) = env_parse("HSIPC_LIVE_NODES") {
-            config.nodes = v;
-        }
-        config
+        LiveEnv::from_env()?.apply(&mut config);
+        Ok(config)
     }
-}
-
-fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
-    std::env::var(key).ok()?.trim().parse().ok()
 }
 
 /// Latency quantiles of the completed round trips, microseconds.
@@ -142,10 +142,18 @@ pub struct RunReport {
     pub conversations: u32,
     /// Traffic locality.
     pub locality: Locality,
+    /// Time base the run executed under.
+    pub clock: ClockMode,
     /// Completed client round trips across all nodes.
     pub round_trips: u64,
-    /// Wall clock from load start to drain completion.
+    /// Run time from load start to drain completion, *in the run's time
+    /// base*: wall clock under [`ClockMode::Real`], virtual time under
+    /// [`ClockMode::Virtual`]. Throughput and latency are measured against
+    /// this clock.
     pub elapsed: Duration,
+    /// Wall clock the run actually took, whatever the time base — the
+    /// virtual-time speedup is `elapsed / wall`.
+    pub wall: Duration,
     /// Round trips per millisecond (the paper's Λ), aggregated over nodes.
     pub throughput_per_ms: f64,
     /// Round-trip latency distribution.
@@ -157,6 +165,10 @@ pub struct RunReport {
     pub ring_frames: u64,
     /// Whether every client drained within the grace period.
     pub clean_shutdown: bool,
+    /// Requested-vs-actual occupancy per activity class — the error bars
+    /// of a real-time run (empty under [`ClockMode::Virtual`], where
+    /// occupancy is exact by construction).
+    pub overshoot: Vec<OvershootRow>,
 }
 
 /// Runs one live workload to completion and reports what was measured.
@@ -183,6 +195,13 @@ pub fn run(config: &Config) -> RunReport {
     let (ring, ports) = netsim::live::live_ring::<Packet>(config.nodes, 0);
     let mut ports = ports.into_iter();
 
+    let clock_sys = ClockSystem::new(config.clock);
+    // Actor 0: this thread — the load generator and drain driver. In
+    // virtual mode it starts out holding the execution token, so the node
+    // actors registered below all park in attach() until the load-phase
+    // sleep yields it.
+    let main_clock = clock_sys.register();
+
     let hist = Arc::new(Histogram::default());
     let round_trips = Arc::new(AtomicU64::new(0));
     let active = Arc::new(AtomicUsize::new(config.nodes as usize * n));
@@ -195,8 +214,10 @@ pub fn run(config: &Config) -> RunReport {
     ));
 
     let mut shareds: Vec<Arc<NodeShared>> = Vec::with_capacity(config.nodes as usize);
-    let mut host_handles = Vec::new();
-    let mut kernel_handles: Vec<std::thread::JoinHandle<KernelStats>> = Vec::new();
+    // Phase 1: build every node's contexts and register its clock actors
+    // in node order, before any thread exists — actor ids are the virtual
+    // scheduler's determinism tie-break, so registration must not race.
+    let mut bodies: Vec<(HostCtx, MpCtx)> = Vec::with_capacity(config.nodes as usize);
 
     let started = Instant::now();
     for node in 0..config.nodes {
@@ -256,14 +277,40 @@ pub fn run(config: &Config) -> RunReport {
         let shared = Arc::new(NodeShared {
             shm,
             slots: (0..2 * n).map(|_| TcbSlot::default()).collect(),
-            host_bell: Doorbell::default(),
-            mp_bell: Doorbell::default(),
+            host_bell: Bell::new(&clock_sys),
+            mp_bell: Bell::new(&clock_sys),
         });
         shareds.push(Arc::clone(&shared));
+
+        // Remote arrivals ring the bell the receiving loop waits on: the
+        // MP's on II–IV, the combined loop's host bell on I. In virtual
+        // mode this is what wakes a blocked node at the sender's virtual
+        // timestamp; in real mode it saves the IDLE_PARK timeout.
+        {
+            let shared = Arc::clone(&shared);
+            let has_mp = config.architecture.has_mp();
+            ring.set_arrival_notifier(RingNodeId(node), move || {
+                if has_mp {
+                    shared.mp_bell.ring();
+                } else {
+                    shared.host_bell.ring();
+                }
+            });
+        }
+
+        // One actor per processor: host, plus the MP on II–IV. On I the
+        // combined loop is one thread, hence one actor for both contexts.
+        let host_clock = clock_sys.register();
+        let mp_clock = if config.architecture.has_mp() {
+            clock_sys.register()
+        } else {
+            host_clock.clone()
+        };
 
         let host = HostCtx::new(
             Arc::clone(&shared),
             Arc::clone(&cost),
+            host_clock,
             roles,
             clients,
             targets,
@@ -278,12 +325,21 @@ pub fn run(config: &Config) -> RunReport {
         let mp = MpCtx {
             shared,
             cost: Arc::clone(&cost),
+            clock: mp_clock,
             kernel,
             port: ports.next().expect("one port per node"),
             ring: ring.clone(),
             halt: Arc::clone(&halt),
         };
+        bodies.push((host, mp));
+    }
 
+    // Phase 2: spawn. Each thread's first statement is attach(), so no
+    // node code runs before the deterministic registration above is
+    // complete and the thread holds the execution token.
+    let mut host_handles = Vec::new();
+    let mut kernel_handles: Vec<std::thread::JoinHandle<KernelStats>> = Vec::new();
+    for (node, (host, mp)) in bodies.into_iter().enumerate() {
         if config.architecture.has_mp() {
             host_handles.push(
                 std::thread::Builder::new()
@@ -307,27 +363,34 @@ pub fn run(config: &Config) -> RunReport {
         }
     }
 
-    // Load phase.
-    std::thread::sleep(config.duration);
+    // Load phase. Real: wall sleep. Virtual: the driver's clock jumps to
+    // `duration` and yields the token; the conservative frontier hands it
+    // back only once every node actor's clock has passed `duration`.
+    main_clock.sleep(config.duration);
 
     // Drain: clients finish their outstanding round trip and stop.
     stopping.store(true, Ordering::SeqCst);
     for shared in &shareds {
         shared.host_bell.ring();
     }
-    let deadline = Instant::now() + config.grace;
-    while active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(1));
+    let deadline_ns = main_clock.now_ns() + config.grace.as_nanos() as u64;
+    while active.load(Ordering::Acquire) > 0 && main_clock.now_ns() < deadline_ns {
+        main_clock.sleep(Duration::from_millis(1));
     }
     let clean_shutdown = active.load(Ordering::Acquire) == 0;
-    let elapsed = started.elapsed();
+    let elapsed = Duration::from_nanos(main_clock.now_ns());
 
-    // Halt and join.
+    // Halt and join. The whole halt sequence runs while this thread holds
+    // the virtual execution token, so every worker observes halt + rung
+    // bells atomically; the driver then retires *before* joining — it
+    // must release the token or the workers could never run their exit
+    // path.
     halt.store(true, Ordering::SeqCst);
     for shared in &shareds {
         shared.host_bell.ring();
         shared.mp_bell.ring();
     }
+    main_clock.retire();
     for handle in host_handles {
         handle.join().expect("host thread exits cleanly");
     }
@@ -340,14 +403,21 @@ pub fn run(config: &Config) -> RunReport {
     }
 
     let round_trips = round_trips.load(Ordering::Relaxed);
+    let elapsed_ms = elapsed.as_secs_f64() * 1_000.0;
     RunReport {
         architecture: config.architecture,
         nodes: config.nodes,
         conversations: config.conversations,
         locality: config.locality,
+        clock: config.clock,
         round_trips,
         elapsed,
-        throughput_per_ms: round_trips as f64 / (elapsed.as_secs_f64() * 1_000.0),
+        wall: started.elapsed(),
+        throughput_per_ms: if elapsed_ms > 0.0 {
+            round_trips as f64 / elapsed_ms
+        } else {
+            0.0
+        },
         latency: LatencySummary {
             mean_us: hist.mean_us(),
             p50_us: hist.quantile_us(0.50),
@@ -358,6 +428,7 @@ pub fn run(config: &Config) -> RunReport {
         buffer_stalls,
         ring_frames: ring.stats().frames,
         clean_shutdown,
+        overshoot: clock_sys.overshoot_report(),
     }
 }
 

@@ -18,9 +18,10 @@
 //! Architecture I has no MP thread: one thread alternates both sides, which
 //! is precisely why its host saturates first under load.
 
-use crate::cost::{occupy_us, CostModel};
+use crate::clock::{Bell, ClockHandle, CLASS_COMPUTE};
+use crate::cost::CostModel;
 use crate::hist::Histogram;
-use crate::shm::{Doorbell, NodeShm, TcbSlot};
+use crate::shm::{NodeShm, TcbSlot};
 use archsim::timings::ActivityKind;
 use msgkernel::{
     Kernel, KernelEvent, KernelStats, Message, Packet, SendMode, ServiceAddr, Syscall, TaskId,
@@ -29,7 +30,7 @@ use netsim::live::{LiveRing, Port};
 use netsim::RingNodeId;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How long an idle loop parks on its doorbell before re-polling. A missed
 /// ring costs at most this much extra latency.
@@ -55,14 +56,14 @@ pub(crate) enum Role {
 pub(crate) struct NodeShared {
     pub shm: NodeShm,
     pub slots: Vec<TcbSlot>,
-    pub host_bell: Doorbell,
-    pub mp_bell: Doorbell,
+    pub host_bell: Bell,
+    pub mp_bell: Bell,
 }
 
 #[derive(Debug, Default)]
 struct ClientSm {
-    /// Send timestamp of the outstanding round trip.
-    sent_at: Option<Instant>,
+    /// Send timestamp of the outstanding round trip, clock nanoseconds.
+    sent_at: Option<u64>,
     done: bool,
 }
 
@@ -82,6 +83,8 @@ enum ServerPhase {
 pub(crate) struct HostCtx {
     pub shared: Arc<NodeShared>,
     pub cost: Arc<CostModel>,
+    /// This thread's time base (host processor).
+    pub clock: ClockHandle,
     /// Role of each task id.
     pub roles: Vec<Role>,
     pub clients: Vec<TaskId>,
@@ -105,6 +108,7 @@ impl HostCtx {
     pub(crate) fn new(
         shared: Arc<NodeShared>,
         cost: Arc<CostModel>,
+        clock: ClockHandle,
         roles: Vec<Role>,
         clients: Vec<TaskId>,
         targets: Vec<ServiceAddr>,
@@ -121,6 +125,7 @@ impl HostCtx {
         HostCtx {
             shared,
             cost,
+            clock,
             roles,
             clients,
             targets,
@@ -139,7 +144,7 @@ impl HostCtx {
     /// Issues a kernel call: burn the syscall-entry cost, write the request
     /// into the TCB, enqueue the TCB on the communication list, ring the MP.
     fn issue(&self, task: TaskId, kind: ActivityKind, request: Syscall) {
-        self.cost.charge(kind);
+        self.cost.charge(kind, &self.clock);
         *self.shared.slots[task.0 as usize]
             .request
             .lock()
@@ -150,7 +155,7 @@ impl HostCtx {
 
     fn issue_send(&mut self, client: usize) {
         let task = self.clients[client];
-        self.client_sm[client].sent_at = Some(Instant::now());
+        self.client_sm[client].sent_at = Some(self.clock.now_ns());
         self.issue(
             task,
             ActivityKind::SyscallSend,
@@ -190,7 +195,8 @@ impl HostCtx {
         let Some(sent_at) = self.client_sm[client].sent_at.take() else {
             return;
         };
-        self.hist.record(sent_at.elapsed());
+        self.hist
+            .record_ns(self.clock.now_ns().saturating_sub(sent_at));
         self.round_trips.fetch_add(1, Ordering::Relaxed);
         if self.stopping.load(Ordering::Relaxed) {
             self.client_sm[client].done = true;
@@ -218,7 +224,7 @@ impl HostCtx {
                     "server woken for delivery with an empty inbox"
                 );
                 // The conversation's server compute (the workload's X).
-                occupy_us(self.compute_us);
+                self.clock.occupy_us(self.compute_us, CLASS_COMPUTE);
                 self.server_phase[server] = ServerPhase::Replied;
                 self.issue(
                     task,
@@ -233,6 +239,7 @@ impl HostCtx {
 
     /// The host thread body (Architectures II–IV).
     pub(crate) fn run(mut self) {
+        self.clock.attach();
         self.kickoff();
         let mut empty_polls: u32 = 0;
         while !self.halt.load(Ordering::Relaxed) {
@@ -241,15 +248,17 @@ impl HostCtx {
                 continue;
             }
             empty_polls += 1;
-            if empty_polls < SPIN_POLLS {
+            if self.clock.spins() && empty_polls < SPIN_POLLS {
                 std::hint::spin_loop();
                 continue;
             }
             let epoch = self.shared.host_bell.epoch();
             if !self.step() {
-                self.shared.host_bell.wait_past(epoch, IDLE_PARK);
+                self.clock
+                    .wait_past(&self.shared.host_bell, epoch, IDLE_PARK);
             }
         }
+        self.clock.retire();
     }
 }
 
@@ -258,6 +267,9 @@ impl HostCtx {
 pub(crate) struct MpCtx {
     pub shared: Arc<NodeShared>,
     pub cost: Arc<CostModel>,
+    /// This thread's time base (MP processor; on Architecture I a clone of
+    /// the host's handle, since one thread plays both roles).
+    pub clock: ClockHandle,
     pub kernel: Kernel,
     pub port: Port<Packet>,
     pub ring: LiveRing<Packet>,
@@ -268,11 +280,12 @@ impl MpCtx {
     /// MP-side processing cost of an injected request.
     fn charge_for(&self, request: &Syscall) {
         match request {
-            Syscall::Send { .. } => self.cost.charge(ActivityKind::ProcessSend),
-            Syscall::Receive => self.cost.charge(ActivityKind::ProcessReceive),
+            Syscall::Send { .. } => self.cost.charge(ActivityKind::ProcessSend, &self.clock),
+            Syscall::Receive => self.cost.charge(ActivityKind::ProcessReceive, &self.clock),
             Syscall::Reply { .. } => {
-                self.cost.charge(ActivityKind::ProcessReply);
-                self.cost.charge(ActivityKind::RestartServerAfterReply);
+                self.cost.charge(ActivityKind::ProcessReply, &self.clock);
+                self.cost
+                    .charge(ActivityKind::RestartServerAfterReply, &self.clock);
             }
             _ => {}
         }
@@ -282,15 +295,15 @@ impl MpCtx {
         for event in events {
             match event {
                 KernelEvent::PacketOut(packet) => {
-                    self.cost.charge(ActivityKind::DmaOut);
+                    self.cost.charge(ActivityKind::DmaOut, &self.clock);
                     let (from, to) = (RingNodeId(packet.from.0), RingNodeId(packet.to.0));
                     self.ring
                         .transmit(from, to, msgkernel::MESSAGE_SIZE as u32, packet)
                         .expect("destination node attached to the ring");
                 }
                 KernelEvent::Delivered { server } => {
-                    self.cost.charge(ActivityKind::Match);
-                    self.cost.charge(ActivityKind::RestartServer);
+                    self.cost.charge(ActivityKind::Match, &self.clock);
+                    self.cost.charge(ActivityKind::RestartServer, &self.clock);
                     let message = self
                         .kernel
                         .task(server)
@@ -302,8 +315,8 @@ impl MpCtx {
                         .expect("inbox slot") = message;
                 }
                 KernelEvent::ReplyDelivered { client } => {
-                    self.cost.charge(ActivityKind::CleanupClient);
-                    self.cost.charge(ActivityKind::RestartClient);
+                    self.cost.charge(ActivityKind::CleanupClient, &self.clock);
+                    self.cost.charge(ActivityKind::RestartClient, &self.clock);
                     if let Ok(task) = self.kernel.task(client) {
                         let message = task.delivered;
                         *self.shared.slots[client.0 as usize]
@@ -371,7 +384,7 @@ impl MpCtx {
         }
         while let Some(frame) = self.port.try_recv() {
             did = true;
-            self.cost.charge(ActivityKind::DmaIn);
+            self.cost.charge(ActivityKind::DmaIn, &self.clock);
             let events = self
                 .kernel
                 .handle_packet(frame.payload)
@@ -389,6 +402,7 @@ impl MpCtx {
     /// The MP thread body (Architectures II–IV). Returns the kernel's
     /// cumulative statistics.
     pub(crate) fn run(mut self) -> KernelStats {
+        self.clock.attach();
         let mut empty_polls: u32 = 0;
         while !self.halt.load(Ordering::Relaxed) {
             if self.pump() {
@@ -396,23 +410,26 @@ impl MpCtx {
                 continue;
             }
             empty_polls += 1;
-            if empty_polls < SPIN_POLLS {
+            if self.clock.spins() && empty_polls < SPIN_POLLS {
                 std::hint::spin_loop();
                 continue;
             }
             let epoch = self.shared.mp_bell.epoch();
             if !self.pump() {
-                self.shared.mp_bell.wait_past(epoch, IDLE_PARK);
+                self.clock.wait_past(&self.shared.mp_bell, epoch, IDLE_PARK);
             }
         }
+        self.clock.retire();
         self.kernel.stats()
     }
 }
 
 /// Architecture I: one thread alternates host and kernel duties — the
 /// uniprocessor cannot overlap server compute with communication
-/// processing, which is exactly the bottleneck the MP removes.
+/// processing, which is exactly the bottleneck the MP removes. The two
+/// contexts share one clock handle (one processor, one actor).
 pub(crate) fn combined_run(mut host: HostCtx, mut mp: MpCtx) -> KernelStats {
+    host.clock.attach();
     host.kickoff();
     loop {
         let did_mp = mp.pump();
@@ -422,8 +439,10 @@ pub(crate) fn combined_run(mut host: HostCtx, mut mp: MpCtx) -> KernelStats {
         }
         if !did_mp && !did_host {
             let epoch = host.shared.host_bell.epoch();
-            host.shared.host_bell.wait_past(epoch, IDLE_PARK);
+            host.clock
+                .wait_past(&host.shared.host_bell, epoch, IDLE_PARK);
         }
     }
+    host.clock.retire();
     mp.kernel.stats()
 }

@@ -21,9 +21,7 @@
 use archsim::timings::Architecture;
 use msgkernel::{BufferId, BufferQueue, TaskId};
 use smartmem::shared::{ListId, LockFreeModule, LockedModule, SharedQueue};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
 
 const COMPUTATION: ListId = ListId(0);
 const COMMUNICATION: ListId = ListId(1);
@@ -137,39 +135,6 @@ impl BufferQueue for SharedBufferQueue {
     }
 }
 
-/// A wakeup channel between host and MP threads: ring after enqueuing work,
-/// wait (with a timeout, so a missed ring only costs one timeout period)
-/// when a poll finds nothing.
-#[derive(Debug, Default)]
-pub struct Doorbell {
-    seq: Mutex<u64>,
-    cv: Condvar,
-}
-
-impl Doorbell {
-    /// Current ring count; pass to [`Doorbell::wait_past`].
-    pub fn epoch(&self) -> u64 {
-        *self.seq.lock().expect("doorbell lock")
-    }
-
-    /// Wakes every waiter.
-    pub fn ring(&self) {
-        *self.seq.lock().expect("doorbell lock") += 1;
-        self.cv.notify_all();
-    }
-
-    /// Blocks until rung past `epoch` or `timeout` elapses. Taking the
-    /// epoch *before* polling the queues closes the poll-then-sleep race:
-    /// a ring between poll and wait makes the wait return immediately.
-    pub fn wait_past(&self, epoch: u64, timeout: Duration) {
-        let guard = self.seq.lock().expect("doorbell lock");
-        let _ = self
-            .cv
-            .wait_timeout_while(guard, timeout, |seq| *seq == epoch)
-            .expect("doorbell lock");
-    }
-}
-
 /// A task control block's host↔MP mailboxes. The request slot carries the
 /// syscall arguments the host wrote before enqueueing the TCB on the
 /// communication list (Figure 4.4); the inbox carries the message the MP
@@ -180,20 +145,6 @@ pub struct TcbSlot {
     pub request: Mutex<Option<msgkernel::Syscall>>,
     /// MP → host: the delivered message.
     pub inbox: Mutex<Option<msgkernel::Message>>,
-}
-
-/// Counters shared by one node's threads.
-#[derive(Debug, Default)]
-pub struct NodeStats {
-    /// Wakeups the host consumed from the computation list.
-    pub host_wakes: AtomicU64,
-}
-
-impl NodeStats {
-    /// Bumps the host-wake counter.
-    pub fn count_host_wake(&self) {
-        self.host_wakes.fetch_add(1, Ordering::Relaxed);
-    }
 }
 
 #[cfg(test)]
@@ -228,22 +179,5 @@ mod tests {
             assert_eq!(shm.pop_communication(), Some(TaskId(1)));
             assert_eq!(shm.pop_computation(), None);
         }
-    }
-
-    #[test]
-    fn doorbell_wakes_a_waiter() {
-        let bell = Arc::new(Doorbell::default());
-        let epoch = bell.epoch();
-        let waiter = {
-            let bell = Arc::clone(&bell);
-            std::thread::spawn(move || {
-                bell.wait_past(epoch, Duration::from_secs(10));
-            })
-        };
-        std::thread::sleep(Duration::from_millis(10));
-        bell.ring();
-        waiter.join().unwrap();
-        // A stale epoch returns immediately.
-        bell.wait_past(epoch, Duration::from_secs(10));
     }
 }

@@ -6,7 +6,8 @@
 //! Everything lives in ONE test function on purpose: the live runs measure
 //! wall-clock throughput, and the default test harness runs `#[test]`
 //! functions concurrently — parallel timing-sensitive runs on one machine
-//! would contaminate each other.
+//! would contaminate each other. Virtual-clock runs are deterministic and
+//! timing-insensitive, so they live in `tests/live_virtual.rs` instead.
 
 use hsipc::models::local;
 use hsipc::runtime::{Architecture, Config, Locality};

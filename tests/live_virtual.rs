@@ -1,0 +1,139 @@
+//! Virtual-clock live runtime: determinism, drain/halt edge cases, and
+//! deadlock detection through the public API.
+//!
+//! These tests run under [`ClockMode::Virtual`], so none of them measure
+//! wall-clock time — they are immune to machine load and safe to run in
+//! parallel. The wall-clock-sensitive real-mode assertions stay alone in
+//! `tests/live_runtime.rs` (a separate test binary) for exactly that
+//! reason.
+
+use hsipc::runtime::clock::{Bell, ClockMode, ClockSystem};
+use hsipc::runtime::{Architecture, Config, Locality};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+fn virtual_config(arch: Architecture) -> Config {
+    let mut config = Config::new(arch);
+    config.clock = ClockMode::Virtual;
+    config
+}
+
+/// Same configuration twice ⇒ the same numbers, to the last bit. The
+/// virtual scheduler's total order is a pure function of the config, so
+/// every measured quantity must reproduce exactly — no tolerance.
+#[test]
+fn virtual_runs_are_deterministic() {
+    let run = || {
+        let mut config = virtual_config(Architecture::MessageCoprocessor);
+        config.nodes = 2;
+        config.conversations = 16;
+        config.locality = Locality::NonLocal;
+        config.duration = Duration::from_millis(200);
+        hsipc::runtime::run(&config)
+    };
+    let (a, b) = (run(), run());
+    assert!(
+        a.clean_shutdown && b.clean_shutdown,
+        "drain did not complete"
+    );
+    assert!(a.round_trips > 0, "no round trips completed");
+    assert_eq!(a.round_trips, b.round_trips);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.ring_frames, b.ring_frames);
+    assert_eq!(a.buffer_stalls, b.buffer_stalls);
+    assert_eq!(a.throughput_per_ms.to_bits(), b.throughput_per_ms.to_bits());
+    assert_eq!(a.latency.mean_us.to_bits(), b.latency.mean_us.to_bits());
+    assert_eq!(a.latency.p50_us.to_bits(), b.latency.p50_us.to_bits());
+    assert_eq!(a.latency.p95_us.to_bits(), b.latency.p95_us.to_bits());
+    assert_eq!(a.latency.p99_us.to_bits(), b.latency.p99_us.to_bits());
+    assert_eq!(a.latency.max_us.to_bits(), b.latency.max_us.to_bits());
+    // Virtual occupancy is exact by construction: no overshoot ledger.
+    assert!(a.overshoot.is_empty(), "virtual run recorded overshoot");
+}
+
+/// A nonsensical fleet is a panic, not a hang: the run must refuse up
+/// front rather than spawn a load generator with nothing to generate.
+#[test]
+fn zero_conversations_panics_instead_of_hanging() {
+    let mut config = virtual_config(Architecture::Uniprocessor);
+    config.conversations = 0;
+    let err = catch_unwind(AssertUnwindSafe(|| hsipc::runtime::run(&config)))
+        .expect_err("zero conversations must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(msg.contains("at least one conversation"), "panic: {msg}");
+}
+
+/// One kernel buffer shared by a whole fleet: every send but one parks on
+/// the §3.2.3 shortage path, and the drain must still retire every client
+/// — the starved sends unwind in conversation order as buffers free up.
+#[test]
+fn single_buffer_starvation_still_drains() {
+    for arch in [Architecture::Uniprocessor, Architecture::SmartBus] {
+        let mut config = virtual_config(arch);
+        config.conversations = 32;
+        config.buffers = 1;
+        config.duration = Duration::from_millis(100);
+        let report = hsipc::runtime::run(&config);
+        assert!(
+            report.clean_shutdown,
+            "{arch}: starved drain did not complete"
+        );
+        assert!(report.round_trips > 0, "{arch}: no round trips completed");
+        assert!(
+            report.buffer_stalls > 0,
+            "{arch}: one buffer under 32 conversations never stalled"
+        );
+    }
+}
+
+/// A zero-length load phase goes straight to drain: clients stop after at
+/// most one round trip and shutdown still completes.
+#[test]
+fn zero_duration_run_drains_immediately() {
+    let mut config = virtual_config(Architecture::MessageCoprocessor);
+    config.conversations = 8;
+    config.duration = Duration::ZERO;
+    let report = hsipc::runtime::run(&config);
+    assert!(
+        report.clean_shutdown,
+        "zero-duration drain did not complete"
+    );
+}
+
+/// A virtual clock that can never advance — every live actor blocked on a
+/// bell nobody can ring — must error out, not hang. This exercises the
+/// coordinator's poisoning path through the public API, the same detector
+/// that turns a buggy drain into a diagnostic instead of a stuck process.
+#[test]
+fn never_advancing_clock_errors_instead_of_hanging() {
+    let sys = ClockSystem::new(ClockMode::Virtual);
+    let driver = sys.register();
+    let bell = std::sync::Arc::new(Bell::new(&sys));
+    let waiters: Vec<_> = (0..3)
+        .map(|_| {
+            let h = sys.register();
+            let bell = std::sync::Arc::clone(&bell);
+            std::thread::spawn(move || {
+                h.attach();
+                let epoch = bell.epoch();
+                h.wait_past(&bell, epoch, Duration::from_secs(600));
+            })
+        })
+        .collect();
+    // The driver retires without ringing: no executing actor remains, so
+    // no ring can ever arrive and the frontier is permanently stuck.
+    driver.retire();
+    for waiter in waiters {
+        let err = waiter.join().expect_err("deadlocked waiter must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(msg.contains("virtual clock deadlock"), "panic: {msg}");
+    }
+}
