@@ -40,7 +40,8 @@ fn main() -> ExitCode {
         eprintln!("experiment ids: table3.1..table3.7, table5.1, table5.2,");
         eprintln!("  table6.1, table6.2, table6.4..table6.25, fig6.7..fig6.23, fig7.1, fig7.scale");
         eprintln!("live flags: [--arch I|II|III|IV|all] [--nodes N] [--conversations N]");
-        eprintln!("  [--duration-ms N] [--scale F] [--buffers N] [--remote] [--no-json]");
+        eprintln!("  [--duration-ms N] [--scale F] [--server-compute-us F] [--buffers N]");
+        eprintln!("  [--remote] [--no-json]");
         eprintln!("  [--clock real|virtual|both]  (flags also accept --flag=value)");
         return ExitCode::from(2);
     }
@@ -182,6 +183,15 @@ fn run_live(args: &[String]) -> ExitCode {
                     )?);
                 }
                 "--scale" => base.scale = parse(&value("--scale")?, "--scale")?,
+                "--server-compute-us" => {
+                    let x: f64 = parse(&value("--server-compute-us")?, "--server-compute-us")?;
+                    if !(x >= 0.0 && x.is_finite()) {
+                        return Err(format!(
+                            "--server-compute-us: must be a non-negative finite number, got `{x}`"
+                        ));
+                    }
+                    base.server_compute_us = x;
+                }
                 "--buffers" => base.buffers = parse(&value("--buffers")?, "--buffers")?,
                 "--clock" => {
                     let v = value("--clock")?;
@@ -414,6 +424,10 @@ fn nonlocal_n4_case(cores: usize) -> (f64, f64) {
         des: models::DesOptions::default(),
         par_solve: gtpn::par::par_solve_enabled(),
         warm_start: gtpn::engine::warm_start_enabled(),
+        // Raw-solver micro-benchmark: lumping off keeps the timed work (full
+        // reachability + Gauss–Seidel on the unreduced chain) stable across
+        // environments so the BENCH trajectory stays comparable.
+        lump: gtpn::LumpSel::Off,
     })
     .with_cache(256)
     .with_budget(Arc::new(gtpn::ParallelBudget::new(cores)));
@@ -423,9 +437,74 @@ fn nonlocal_n4_case(cores: usize) -> (f64, f64) {
     (t0.elapsed().as_secs_f64(), s.throughput_per_ms)
 }
 
+/// Times the fig7.scale n=8 point both ways — the lumped exact quotient
+/// chain vs the DES estimator — under fresh engines with private caches,
+/// and reports the JSON fragment. Neither path touches the process-global
+/// reachability cache (lumped runs build their own quotient; DES builds no
+/// graph), so the measurement is isolated from the experiment run above.
+fn fig7_scale_case() -> String {
+    let x = 5_700.0;
+    let mk = |backend: models::BackendSel, lump: gtpn::LumpSel| {
+        models::AnalysisEngine::new(models::EngineConfig {
+            backend,
+            tolerance: models::TOLERANCE,
+            max_sweeps: models::MAX_SWEEPS,
+            state_budget: models::STATE_BUDGET,
+            des: models::DesOptions::default(),
+            par_solve: gtpn::par::par_solve_enabled(),
+            warm_start: gtpn::engine::warm_start_enabled(),
+            lump,
+        })
+        // A private cache: without one the engine shares the process-global
+        // solution cache and the exact point would time as a cache hit on
+        // the experiment run above.
+        .with_cache(16)
+    };
+    let t0 = Instant::now();
+    let exact = models::local::solve_in(
+        &mk(models::BackendSel::Exact, gtpn::LumpSel::On),
+        models::Architecture::MessageCoprocessor,
+        8,
+        x,
+    )
+    .expect("lumped exact n=8 solves");
+    let exact_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let des = models::local::solve_in(
+        &mk(models::BackendSel::Des, gtpn::LumpSel::Off),
+        models::Architecture::MessageCoprocessor,
+        8,
+        x,
+    )
+    .expect("DES n=8 estimates");
+    let des_s = t0.elapsed().as_secs_f64();
+    format!(
+        concat!(
+            "{{\n",
+            "    \"description\": \"fig7.scale arch II local, n=8, x=5700: lumped exact quotient chain vs DES estimate (uncached)\",\n",
+            "    \"exact_seconds\": {exact_s:.4},\n",
+            "    \"exact_states\": {states},\n",
+            "    \"exact_throughput_per_ms\": {exact_tp},\n",
+            "    \"des_seconds\": {des_s:.4},\n",
+            "    \"des_throughput_per_ms\": {des_tp},\n",
+            "    \"des_half_width_per_ms\": {hw},\n",
+            "    \"gap_per_ms\": {gap:.6}\n",
+            "  }}"
+        ),
+        exact_s = exact_s,
+        states = exact.states,
+        exact_tp = exact.throughput_per_ms,
+        des_s = des_s,
+        des_tp = des.throughput_per_ms,
+        hw = des.half_width_per_ms.unwrap_or(0.0),
+        gap = (exact.throughput_per_ms - des.throughput_per_ms).abs(),
+    )
+}
+
 /// The machine-readable `--timing` report: per-experiment wall-clock,
-/// cache hit rates, the thread policy, and the non-local n=4 solver
-/// micro-benchmark at 1 thread vs the full thread budget.
+/// cache hit rates, the thread policy, the non-local n=4 solver
+/// micro-benchmark at 1 thread vs the full thread budget, and the
+/// fig7.scale lumped-exact vs DES comparison.
 fn timing_json(
     mode: ExecMode,
     threads: usize,
@@ -480,7 +559,7 @@ fn timing_json(
     format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"hsipc-bench-solver/v1\",\n",
+            "  \"schema\": \"hsipc-bench-solver/v2\",\n",
             "  \"mode\": \"{mode:?}\",\n",
             "  \"threads\": {threads},\n",
             "  \"physical_cores\": {physical},\n",
@@ -495,6 +574,7 @@ fn timing_json(
             "    \"speedup\": {speedup:.3},\n",
             "    \"throughput_per_ms\": {tp}\n",
             "  }},\n",
+            "  \"fig7_scale_n8\": {scale},\n",
             "  \"experiments\": {experiments}\n",
             "}}\n",
         ),
@@ -509,6 +589,7 @@ fn timing_json(
         par = par_s,
         speedup = serial_s / par_s.max(1e-9),
         tp = serial_tp,
+        scale = fig7_scale_case(),
         experiments = experiments,
     )
 }

@@ -48,6 +48,9 @@ pub fn fig_6_7() -> String {
         )
         .expect("place exists");
     // Tight-tolerance exact engine: both nets are tiny (≤ `delay` states).
+    // Lumping stays off: the figure prints the constant-vs-geometric
+    // relative difference, a quantity at solver-tolerance scale that the
+    // (equally exact, differently rounded) quotient solve would perturb.
     let engine = AnalysisEngine::new(EngineConfig {
         backend: BackendSel::Exact,
         tolerance: 1e-12,
@@ -56,6 +59,7 @@ pub fn fig_6_7() -> String {
         des: DesOptions::default(),
         par_solve: gtpn::par::par_solve_enabled(),
         warm_start: gtpn::engine::warm_start_enabled(),
+        lump: gtpn::LumpSel::Off,
     });
     let exact = engine
         .analyze(&constant)
@@ -398,10 +402,12 @@ pub fn fig_7_1_with(mode: ExecMode, threads: usize) -> String {
 }
 
 /// Chapter 7 scale-out — past the paper's n ≤ 4 ceiling (§6.9.2 notes the
-/// GTPN tools could not go further). An `auto` engine with a deliberately
-/// small state budget solves n ≤ 4 exactly and falls back to the
-/// discrete-event backend beyond it, reporting 95% confidence half-widths
-/// for the estimated points.
+/// GTPN tools could not go further). Exact lumping collapses the
+/// permutation-symmetric client population to occupancy counts
+/// ([`gtpn::lump`]), so the `auto` engine now solves n = 8, 16 and 32
+/// exactly within the chapter-6 two-million-state budget — the raw chains
+/// there are billions of states — and falls back to the discrete-event
+/// backend (95% confidence half-widths) only past the *lumped* budget.
 pub fn fig_7_scale() -> String {
     let (mode, threads) = env_exec();
     fig_7_scale_with(mode, threads)
@@ -410,20 +416,33 @@ pub fn fig_7_scale() -> String {
 /// [`fig_7_scale`] under an explicit execution mode.
 pub fn fig_7_scale_with(mode: ExecMode, threads: usize) -> String {
     let x = 5_700.0;
-    // 10_000 states sits between n=4 (6_336 states) and n=5 (18_982) for
-    // the Arch II local net: the exact/DES switchover lands exactly at the
-    // paper's old ceiling.
+    // Lumping is pinned on (not read from `HSIPC_LUMP`): the figure's
+    // whole point is the exact-vs-DES switchover location, which must not
+    // move under an environment override — `HSIPC_LUMP=off` byte-identity
+    // over `repro all` depends on it.
     let engine = AnalysisEngine::new(EngineConfig {
         backend: BackendSel::Auto,
         tolerance: models::TOLERANCE,
         max_sweeps: models::MAX_SWEEPS,
-        state_budget: 10_000,
+        state_budget: models::STATE_BUDGET,
         des: DesOptions::default(),
         par_solve: gtpn::par::par_solve_enabled(),
         warm_start: gtpn::engine::warm_start_enabled(),
+        lump: gtpn::LumpSel::On,
     });
-    let grid = Grid::new(vec![2u32, 4, 6, 8]);
+    // The n = 32 point: its lumped chain (~10M states by measurement) is
+    // past the two-million budget, so `Auto` would spend minutes expanding
+    // before aborting into the DES fallback. DES replication seeds derive
+    // from the canonical net alone — not from the engine — so running the
+    // DES backend directly produces the byte-identical result the `Auto`
+    // fallback would reach, skipping the doomed expansion.
+    let des_engine = AnalysisEngine::new(EngineConfig {
+        backend: BackendSel::Des,
+        ..engine.config().clone()
+    });
+    let grid = Grid::new(vec![2u32, 4, 8, 16, 32]);
     let rows = grid.eval_in_with(&engine, mode, threads, |engine, &n| {
+        let engine = if n <= 16 { engine } else { &des_engine };
         let t = local::solve_in(engine, Architecture::MessageCoprocessor, n, x)
             .expect("scale point solves");
         vec![
@@ -435,7 +454,7 @@ pub fn fig_7_scale_with(mode: ExecMode, threads: usize) -> String {
         ]
     });
     render_table(
-        "Chapter 7 scale-out — Arch II local beyond n=4 (auto backend, S=5.7ms)",
+        "Chapter 7 scale-out — Arch II local beyond n=4 (auto backend, lumped exact, S=5.7ms)",
         &["Conv", "Throughput (/ms)", "Backend", "±95% (/ms)"],
         &rows,
     )

@@ -9,7 +9,12 @@
 //!   [`AnalysisData`]; two are provided. [`ExactMarkov`] is the paper's
 //!   reference pipeline — reachability expansion (memoized by
 //!   [`crate::cache`]) followed by the Gauss–Seidel steady-state solve,
-//!   with a per-thread [`SolveWorkspace`] kept warm across points.
+//!   with a per-thread [`SolveWorkspace`] kept warm across points. When
+//!   the net qualifies for exact lumping ([`crate::lump`]) and the
+//!   engine's [`LumpSel`] policy permits, the exact backend builds and
+//!   solves the *quotient* chain instead and de-lumps the measures —
+//!   identical numbers to solver tolerance, combinatorially fewer
+//!   states, so `Auto` falls back to DES only past the lumped budget.
 //!   [`DesEstimate`] replaces the exact solve by batched Monte-Carlo runs
 //!   of [`crate::sim`] and reports batch-means estimates with 95%
 //!   confidence half-widths — usable when the reachability graph is too
@@ -45,10 +50,14 @@
 //!   with a cold one to solver tolerance (`HSIPC_WARM_START=0` turns the
 //!   hand-off off for A/B comparison).
 //!
-//! * **Determinism.** The exact backend is bitwise identical to calling
-//!   `net.reachability(budget)?.solve(tol, sweeps)` directly — a cache
-//!   miss always solves the *caller's* net, never the canonical reordering
-//!   (summation order changes the last ulp). DES replication seeds derive
+//! * **Determinism.** With lumping off the exact backend is bitwise
+//!   identical to calling `net.reachability(budget)?.solve(tol, sweeps)`
+//!   directly — a cache miss always solves the *caller's* net, never the
+//!   canonical reordering (summation order changes the last ulp). A
+//!   lumped solve is itself deterministic (byte-identical across runs,
+//!   thread counts and build orders) but agrees with the raw solve to
+//!   solver tolerance, not bit-for-bit — which is why the cache key
+//!   records whether a result is lumped. DES replication seeds derive
 //!   from the canonical fingerprint, so estimates are identical run-to-run
 //!   and across build orders, no matter which sweep worker executes them.
 
@@ -56,6 +65,7 @@ use crate::cache::CacheLimits;
 use crate::canonical::{self, Canonical};
 use crate::error::GtpnError;
 use crate::lru::BoundedLru;
+use crate::lump::LumpSel;
 use crate::net::{Net, PlaceId, TransId};
 use crate::par::ParallelBudget;
 use crate::reach::ReachabilityGraph;
@@ -161,6 +171,13 @@ pub struct EngineConfig {
     /// [`from_env`](AnalysisEngine::from_env). Not part of the cache key:
     /// warm and cold solves are interchangeable to solver tolerance.
     pub warm_start: bool,
+    /// Exact-lumping policy ([`crate::lump`]): solve the quotient chain
+    /// of a qualifying net instead of the raw tangible chain. Default
+    /// [`LumpSel::Auto`]; part of the cache key (lumped and raw results
+    /// agree to solver tolerance, not bit-for-bit). Engines built by
+    /// [`from_env`](AnalysisEngine::from_env) read `HSIPC_LUMP` via
+    /// [`LumpSel::from_env`].
+    pub lump: LumpSel,
 }
 
 impl Default for EngineConfig {
@@ -176,6 +193,7 @@ impl Default for EngineConfig {
             des: DesOptions::default(),
             par_solve: false,
             warm_start: true,
+            lump: LumpSel::Auto,
         }
     }
 }
@@ -325,6 +343,11 @@ pub struct AnalysisData {
     transition_usage: Vec<f64>,
     /// Exact: the graph and solution all queries delegate to.
     exact: Option<(Arc<ReachabilityGraph>, Solution)>,
+    /// Lumped exact runs: `(iterations, residual)` of the quotient-chain
+    /// solve. The de-lumped measures live in the DES-shaped fields above
+    /// (they are plain per-name/per-id aggregates; no graph is retained),
+    /// but carry no sampling error — `resource_half_width` stays empty.
+    lumped: Option<(usize, f64)>,
 }
 
 /// The result of [`AnalysisEngine::analyze`]: backend-agnostic access to
@@ -372,9 +395,16 @@ impl Analysis {
         self.data.backend
     }
 
-    /// Tangible states enumerated (0 when the DES backend ran).
+    /// States enumerated: raw tangible states for an unlumped exact run,
+    /// *lumped* states when the quotient chain was solved
+    /// ([`lumped`](Analysis::lumped)), 0 when the DES backend ran.
     pub fn states(&self) -> usize {
         self.data.states
+    }
+
+    /// Whether this exact analysis solved the lumped quotient chain.
+    pub fn lumped(&self) -> bool {
+        self.data.lumped.is_some()
     }
 
     /// Usage (time-weighted mean in-progress count) of a resource label.
@@ -451,19 +481,31 @@ impl Analysis {
         }
     }
 
-    /// Gauss–Seidel sweeps performed (exact backend only).
+    /// Gauss–Seidel sweeps performed (exact backend only; for a lumped
+    /// run, the quotient-chain solve's count).
     pub fn iterations(&self) -> Option<usize> {
-        self.data.exact.as_ref().map(|(_, s)| s.iterations())
+        self.data
+            .exact
+            .as_ref()
+            .map(|(_, s)| s.iterations())
+            .or(self.data.lumped.map(|(i, _)| i))
     }
 
-    /// Final solver residual (exact backend only).
+    /// Final solver residual (exact backend only; for a lumped run, the
+    /// quotient-chain solve's residual).
     pub fn residual(&self) -> Option<f64> {
-        self.data.exact.as_ref().map(|(_, s)| s.residual())
+        self.data
+            .exact
+            .as_ref()
+            .map(|(_, s)| s.residual())
+            .or(self.data.lumped.map(|(_, r)| r))
     }
 
-    /// The underlying reachability graph — `Some` only for an exact
-    /// analysis whose state indices are in the caller's own id space
-    /// (i.e. not a cache hit served under a permuted build order).
+    /// The underlying reachability graph — `Some` only for an unlumped
+    /// exact analysis whose state indices are in the caller's own id
+    /// space (i.e. not a cache hit served under a permuted build order).
+    /// Lumped analyses keep no graph: pin [`LumpSel::Off`] to inspect
+    /// raw states.
     pub fn graph(&self) -> Option<&Arc<ReachabilityGraph>> {
         match (&self.data.exact, &self.place_map, &self.trans_map) {
             (Some((g, _)), None, None) => Some(g),
@@ -499,10 +541,81 @@ pub trait Backend: Sync {
     ) -> Result<AnalysisData, GtpnError>;
 }
 
-/// The exact pipeline: memoized reachability expansion + Gauss–Seidel,
-/// with a warm per-thread [`SolveWorkspace`].
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ExactMarkov;
+thread_local! {
+    /// The per-thread scratch workspace every exact solve runs through.
+    static WORKSPACE: RefCell<SolveWorkspace> = RefCell::new(SolveWorkspace::new());
+}
+
+/// Solves `graph` through the per-thread workspace with the configured
+/// solver, warm-seeding from (and storing back to) the caller's or the
+/// ambient [`WarmStart`] store. The common trunk of the raw and lumped
+/// exact paths.
+fn solve_graph(
+    graph: &ReachabilityGraph,
+    cfg: &EngineConfig,
+    par: &ParallelBudget,
+    mut warm: Option<&mut WarmStart>,
+) -> Result<Solution, GtpnError> {
+    let shape = graph.shape_fingerprint();
+    let seed = if cfg.warm_start {
+        warm_seed(warm.as_deref_mut(), shape)
+    } else {
+        None
+    };
+    let solution = WORKSPACE.with(|ws| {
+        let mut ws = ws.borrow_mut();
+        if cfg.par_solve {
+            // Red-black: always when configured (the ordering changes
+            // the trajectory, so it must not depend on core
+            // availability). The solver claims its worker width from
+            // the budget per sweep, widening as pool workers drain.
+            Solution::solve_red_black_budgeted(
+                graph,
+                cfg.tolerance,
+                cfg.max_sweeps,
+                &mut ws,
+                par,
+                seed.as_deref(),
+            )
+        } else {
+            Solution::solve_seeded_with(
+                graph,
+                cfg.tolerance,
+                cfg.max_sweeps,
+                &mut ws,
+                seed.as_deref(),
+            )
+        }
+    })?;
+    if cfg.warm_start && graph.state_count() > crate::solve::DIRECT_MAX_STATES {
+        warm_store(warm, shape, solution.embedded_probabilities().to_vec());
+    }
+    Ok(solution)
+}
+
+/// The exact pipeline: reachability expansion + Gauss–Seidel, with a warm
+/// per-thread [`SolveWorkspace`]. Lumps the chain first when the config's
+/// [`LumpSel`] permits and the net qualifies ([`crate::lump::lumpable`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ExactMarkov {
+    /// Whether a raw expansion goes through the process-global
+    /// reachability memo ([`crate::cache`]). The engine's cached path
+    /// turns this off — its own solution cache already retains the graph
+    /// inside the cached [`AnalysisData`], and storing the same `Arc` in
+    /// both caches double-counted hundreds of MB against the byte budget
+    /// for a memo that never got a lookup.
+    pub memoize_graph: bool,
+}
+
+impl Default for ExactMarkov {
+    /// Memoization on — right for standalone use, where nothing else
+    /// retains the expanded graph.
+    fn default() -> Self {
+        ExactMarkov {
+            memoize_graph: true,
+        }
+    }
+}
 
 impl Backend for ExactMarkov {
     fn kind(&self) -> BackendKind {
@@ -514,46 +627,30 @@ impl Backend for ExactMarkov {
         net: &Net,
         cfg: &EngineConfig,
         par: &ParallelBudget,
-        mut warm: Option<&mut WarmStart>,
+        warm: Option<&mut WarmStart>,
     ) -> Result<AnalysisData, GtpnError> {
-        thread_local! {
-            static WORKSPACE: RefCell<SolveWorkspace> = RefCell::new(SolveWorkspace::new());
+        if cfg.lump.enabled() && crate::lump::lumpable(net) {
+            let lumped = crate::lump::reach_lumped_budgeted(net, cfg.state_budget, par)?;
+            let solution = solve_graph(&lumped.graph, cfg, par, warm)?;
+            let d = lumped.delump(&solution);
+            return Ok(AnalysisData {
+                backend: BackendKind::Exact,
+                states: lumped.graph.state_count(),
+                resource_usage: d.resource_usage,
+                resource_half_width: HashMap::new(),
+                resource_delay: d.resource_delay,
+                mean_tokens: d.mean_tokens,
+                transition_usage: d.transition_usage,
+                exact: None,
+                lumped: Some((solution.iterations(), solution.residual())),
+            });
         }
-        let graph = crate::cache::reachability_budgeted(net, cfg.state_budget, par)?;
-        let shape = graph.shape_fingerprint();
-        let seed = if cfg.warm_start {
-            warm_seed(warm.as_deref_mut(), shape)
+        let graph = if self.memoize_graph {
+            crate::cache::reachability_budgeted(net, cfg.state_budget, par)?
         } else {
-            None
+            Arc::new(net.reachability_budgeted(cfg.state_budget, par)?)
         };
-        let solution = WORKSPACE.with(|ws| {
-            let mut ws = ws.borrow_mut();
-            if cfg.par_solve {
-                // Red-black: always when configured (the ordering changes
-                // the trajectory, so it must not depend on core
-                // availability). The solver claims its worker width from
-                // the budget per sweep, widening as pool workers drain.
-                Solution::solve_red_black_budgeted(
-                    &graph,
-                    cfg.tolerance,
-                    cfg.max_sweeps,
-                    &mut ws,
-                    par,
-                    seed.as_deref(),
-                )
-            } else {
-                Solution::solve_seeded_with(
-                    &graph,
-                    cfg.tolerance,
-                    cfg.max_sweeps,
-                    &mut ws,
-                    seed.as_deref(),
-                )
-            }
-        })?;
-        if cfg.warm_start && graph.state_count() > crate::solve::DIRECT_MAX_STATES {
-            warm_store(warm, shape, solution.embedded_probabilities().to_vec());
-        }
+        let solution = solve_graph(&graph, cfg, par, warm)?;
         Ok(AnalysisData {
             backend: BackendKind::Exact,
             states: graph.state_count(),
@@ -563,6 +660,7 @@ impl Backend for ExactMarkov {
             mean_tokens: Vec::new(),
             transition_usage: Vec::new(),
             exact: Some((graph, solution)),
+            lumped: None,
         })
     }
 }
@@ -654,6 +752,7 @@ impl Backend for DesEstimate {
             mean_tokens,
             transition_usage,
             exact: None,
+            lumped: None,
         })
     }
 }
@@ -816,13 +915,15 @@ impl AnalysisEngine {
     }
 
     /// The default configuration with the backend policy taken from
-    /// `HSIPC_BACKEND` ([`BackendSel::from_env`]) and the red-black solver
-    /// opt-in from `HSIPC_PAR_SOLVE` ([`crate::par::par_solve_enabled`]).
+    /// `HSIPC_BACKEND` ([`BackendSel::from_env`]), the red-black solver
+    /// opt-in from `HSIPC_PAR_SOLVE` ([`crate::par::par_solve_enabled`])
+    /// and the lumping policy from `HSIPC_LUMP` ([`LumpSel::from_env`]).
     pub fn from_env() -> AnalysisEngine {
         AnalysisEngine::new(EngineConfig {
             backend: BackendSel::from_env(),
             par_solve: crate::par::par_solve_enabled(),
             warm_start: warm_start_enabled(),
+            lump: LumpSel::from_env(),
             ..EngineConfig::default()
         })
     }
@@ -887,8 +988,16 @@ impl AnalysisEngine {
     /// the net itself — part of the cache key so engines with different
     /// settings never alias. The DES hash includes the state budget so an
     /// `Auto` fallback result is only reused by engines that would have
-    /// fallen back at the same point.
-    fn params_hash(&self, kind: BackendKind) -> u64 {
+    /// fallen back at the same point. `lumped` is whether the exact
+    /// backend would solve the quotient chain for this net (a property of
+    /// net and policy together, computed by [`effective_lump`]): lumped
+    /// and raw solves agree to solver tolerance, not bit-for-bit, and
+    /// their `states` counts mean different things, so they never alias —
+    /// while any two engines that both lump share hits for every
+    /// client-permutation of a net through the canonical fingerprint.
+    ///
+    /// [`effective_lump`]: AnalysisEngine::effective_lump
+    fn params_hash(&self, kind: BackendKind, lumped: bool) -> u64 {
         let mut h = DefaultHasher::new();
         match kind {
             BackendKind::Exact => {
@@ -897,6 +1006,7 @@ impl AnalysisEngine {
                 // The red-black solver converges to slightly different
                 // bits, so its results must never alias the serial ones.
                 self.cfg.par_solve.hash(&mut h);
+                lumped.hash(&mut h);
             }
             BackendKind::Des => {
                 self.cfg.des.horizon.hash(&mut h);
@@ -906,6 +1016,14 @@ impl AnalysisEngine {
             }
         }
         h.finish()
+    }
+
+    /// Whether an exact run of `canon`'s net would solve the lumped
+    /// chain under this engine's policy. [`crate::lump::lumpable`] is
+    /// permutation-invariant, so probing on the canonical net answers
+    /// for the caller's build order too.
+    fn effective_lump(&self, kind: BackendKind, canon: &Canonical) -> bool {
+        kind == BackendKind::Exact && self.cfg.lump.enabled() && crate::lump::lumpable(&canon.net)
     }
 
     /// The slot index of a verified hit for `key` under this engine's
@@ -926,7 +1044,11 @@ impl AnalysisEngine {
     /// Looks for a verified cache hit, composing the id permutation when
     /// the stored analysis came from a different build order.
     fn probe(&self, kind: BackendKind, canon: &Canonical, fp: u64) -> Option<Analysis> {
-        let key = (fp, kind, self.params_hash(kind));
+        let key = (
+            fp,
+            kind,
+            self.params_hash(kind, self.effective_lump(kind, canon)),
+        );
         let mut c = self.cache_mutex().lock().expect("engine cache poisoned");
         let idx = Self::find_slot(&c, &key, self.cfg.state_budget, canon)?;
         c.lru.touch(idx);
@@ -948,7 +1070,11 @@ impl AnalysisEngine {
     /// the old chain `push` could stack several copies of one solution
     /// when sweep workers missed simultaneously.
     fn insert(&self, kind: BackendKind, canon: &Canonical, fp: u64, data: &Arc<AnalysisData>) {
-        let key = (fp, kind, self.params_hash(kind));
+        let key = (
+            fp,
+            kind,
+            self.params_hash(kind, self.effective_lump(kind, canon)),
+        );
         let mut c = self.cache_mutex().lock().expect("engine cache poisoned");
         if c.disabled() {
             return;
@@ -1032,14 +1158,16 @@ impl AnalysisEngine {
         };
         if cache_off {
             self.count_miss();
+            // No solution cache retains the graph here, so the raw
+            // expansion is worth memoizing in the global reachability
+            // cache.
+            let exact = ExactMarkov::default();
             return match self.cfg.backend {
-                BackendSel::Exact => self
-                    .run_fresh(&ExactMarkov, net, warm)
-                    .map(Analysis::identity),
+                BackendSel::Exact => self.run_fresh(&exact, net, warm).map(Analysis::identity),
                 BackendSel::Des => self
                     .run_fresh(&DesEstimate, net, None)
                     .map(Analysis::identity),
-                BackendSel::Auto => match self.run_fresh(&ExactMarkov, net, warm.as_deref_mut()) {
+                BackendSel::Auto => match self.run_fresh(&exact, net, warm.as_deref_mut()) {
                     Err(GtpnError::StateSpaceExceeded { .. }) => {
                         self.count_miss();
                         self.run_fresh(&DesEstimate, net, None)
@@ -1059,10 +1187,17 @@ impl AnalysisEngine {
                 self.insert(backend.kind(), &canon, fp, &data);
                 Ok(Analysis::identity(data))
             };
+        // The solution cache about to hold the result already keeps the
+        // graph alive inside its `AnalysisData`; memoizing the expansion
+        // again in the global reachability cache would only double-count
+        // its bytes (the dead-cache regression BENCH_solver.json caught).
+        let exact = ExactMarkov {
+            memoize_graph: false,
+        };
         match self.cfg.backend {
             BackendSel::Exact => match self.probe(BackendKind::Exact, &canon, fp) {
                 Some(hit) => Ok(hit),
-                None => solve_cached(&ExactMarkov, warm),
+                None => solve_cached(&exact, warm),
             },
             BackendSel::Des => match self.probe(BackendKind::Des, &canon, fp) {
                 Some(hit) => Ok(hit),
@@ -1075,7 +1210,7 @@ impl AnalysisEngine {
                 if let Some(hit) = self.probe(BackendKind::Des, &canon, fp) {
                     return Ok(hit);
                 }
-                match solve_cached(&ExactMarkov, warm) {
+                match solve_cached(&exact, warm) {
                     Err(GtpnError::StateSpaceExceeded { .. }) => solve_cached(&DesEstimate, None),
                     other => other,
                 }
@@ -1170,6 +1305,10 @@ mod tests {
             tolerance: 1e-12,
             max_sweeps: 100_000,
             state_budget: 1_000,
+            // These tests assert raw-chain behavior (bitwise identity to
+            // a direct solve, graph access); lumping is covered by its
+            // own tests below.
+            lump: LumpSel::Off,
             ..EngineConfig::default()
         })
     }
@@ -1250,6 +1389,8 @@ mod tests {
                 },
                 par_solve: false,
                 warm_start: true,
+                // The budget boundary below is stated in *raw* states.
+                lump: LumpSel::Off,
             })
         };
         // Budget exactly at the state count: exact backend.
@@ -1367,5 +1508,211 @@ mod tests {
     fn backend_sel_env_parsing_defaults_to_auto() {
         // Never mutates the environment: only asserts the fallback.
         assert_eq!(BackendSel::from_env(), BackendSel::Auto);
+    }
+
+    /// Two clients cycling through two geometric stages (A → B → A, mean
+    /// `m` each) — symmetric and delay-homogeneous, so it lumps, and
+    /// distinct in-progress multisets share post-completion markings, so
+    /// the quotient chain is *strictly* smaller (10 raw states vs 3).
+    fn sym2(m: f64) -> Net {
+        let mut net = Net::new("sym2");
+        let a = net.add_place("A", 2);
+        let b = net.add_place("B", 0);
+        net.add_transition(
+            Transition::new("exitA")
+                .delay(1)
+                .frequency(Expr::constant(1.0 / m))
+                .resource("lambda")
+                .input(a, 1)
+                .output(b, 1),
+        )
+        .unwrap();
+        net.add_transition(
+            Transition::new("loopA")
+                .delay(1)
+                .frequency(Expr::constant(1.0 - 1.0 / m))
+                .input(a, 1)
+                .output(a, 1),
+        )
+        .unwrap();
+        net.add_transition(
+            Transition::new("exitB")
+                .delay(1)
+                .frequency(Expr::constant(1.0 / m))
+                .input(b, 1)
+                .output(a, 1),
+        )
+        .unwrap();
+        net.add_transition(
+            Transition::new("loopB")
+                .delay(1)
+                .frequency(Expr::constant(1.0 - 1.0 / m))
+                .input(b, 1)
+                .output(b, 1),
+        )
+        .unwrap();
+        net
+    }
+
+    fn lump_engine(lump: LumpSel) -> AnalysisEngine {
+        AnalysisEngine::new(EngineConfig {
+            backend: BackendSel::Exact,
+            tolerance: 1e-12,
+            max_sweeps: 100_000,
+            state_budget: 10_000,
+            lump,
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn lumped_engine_agrees_with_raw_and_shrinks_the_chain() {
+        let _gate = crate::test_serial();
+        clear_cache();
+        let net = sym2(6.0);
+        let raw = lump_engine(LumpSel::Off).analyze(&net).unwrap();
+        let lumped = lump_engine(LumpSel::Auto).analyze(&net).unwrap();
+        assert!(!raw.lumped() && lumped.lumped());
+        assert_eq!(lumped.backend(), BackendKind::Exact);
+        assert!(
+            lumped.states() < raw.states(),
+            "quotient chain ({}) not smaller than raw ({})",
+            lumped.states(),
+            raw.states()
+        );
+        let a = raw.resource_usage("lambda").unwrap();
+        let b = lumped.resource_usage("lambda").unwrap();
+        assert!((a - b).abs() < 1e-10, "usage {a} vs lumped {b}");
+        let ra = raw.resource_rate("lambda").unwrap();
+        let rb = lumped.resource_rate("lambda").unwrap();
+        assert!((ra - rb).abs() < 1e-10, "rate {ra} vs lumped {rb}");
+        for pl in 0..net.place_count() {
+            let id = PlaceId(pl);
+            assert!(
+                (raw.mean_tokens(id) - lumped.mean_tokens(id)).abs() < 1e-10,
+                "place {pl} tokens diverged"
+            );
+        }
+        for t in 0..net.transition_count() {
+            let id = TransId(t);
+            assert!(
+                (raw.transition_usage(id) - lumped.transition_usage(id)).abs() < 1e-10,
+                "transition {t} usage diverged"
+            );
+        }
+        // A lumped run keeps no raw graph but still reports its solve.
+        assert!(lumped.graph().is_none() && raw.graph().is_some());
+        assert!(lumped.iterations().unwrap() > 0);
+        assert!(lumped.residual().unwrap() < 1e-12);
+        assert!(lumped.resource_interval("lambda").is_none());
+        // An unknown resource errors on both paths.
+        assert!(lumped.resource_usage("nope").is_err());
+    }
+
+    #[test]
+    fn lumped_and_raw_results_key_separately() {
+        let _gate = crate::test_serial();
+        clear_cache();
+        let net = sym2(9.0);
+        lump_engine(LumpSel::Off).analyze(&net).unwrap();
+        let before = cache_stats();
+        // A lumping engine must not be served the raw entry...
+        let lumped = lump_engine(LumpSel::Auto).analyze(&net).unwrap();
+        assert!(lumped.lumped());
+        assert_eq!(cache_stats().misses, before.misses + 1);
+        // ...while On and Auto (same effective policy) share entries.
+        let before = cache_stats();
+        let again = lump_engine(LumpSel::On).analyze(&net).unwrap();
+        assert!(again.lumped());
+        assert_eq!(cache_stats().hits, before.hits + 1);
+    }
+
+    #[test]
+    fn lumping_declines_on_heterogeneous_delays() {
+        let _gate = crate::test_serial();
+        clear_cache();
+        // A delay-2 transition disqualifies the net: the lumping engine
+        // must transparently solve the raw chain instead.
+        let mut net = Net::new("hetero");
+        let a = net.add_place("A", 1);
+        net.add_transition(
+            Transition::new("T2")
+                .delay(2)
+                .resource("lambda")
+                .input(a, 1)
+                .output(a, 1),
+        )
+        .unwrap();
+        let on = lump_engine(LumpSel::On).analyze(&net).unwrap();
+        assert!(!on.lumped());
+        let off = lump_engine(LumpSel::Off).analyze(&net).unwrap();
+        assert_eq!(
+            on.resource_usage("lambda").unwrap().to_bits(),
+            off.resource_usage("lambda").unwrap().to_bits(),
+            "declined lumping must leave the raw pipeline untouched"
+        );
+        // Same effective key (both raw): the second analyze was a hit.
+        let s = cache_stats();
+        assert!(s.hits >= 1);
+    }
+
+    #[test]
+    fn lumped_hits_serve_permuted_build_orders() {
+        let _gate = crate::test_serial();
+        clear_cache();
+        // sym2 built in reverse: same canonical form, so the lumped
+        // solve is shared and id queries remap.
+        let m = 7.0;
+        let mut rev = Net::new("sym2");
+        let b = rev.add_place("B", 0);
+        let a = rev.add_place("A", 2);
+        rev.add_transition(
+            Transition::new("loopB")
+                .delay(1)
+                .frequency(Expr::constant(1.0 - 1.0 / m))
+                .input(b, 1)
+                .output(b, 1),
+        )
+        .unwrap();
+        rev.add_transition(
+            Transition::new("exitB")
+                .delay(1)
+                .frequency(Expr::constant(1.0 / m))
+                .input(b, 1)
+                .output(a, 1),
+        )
+        .unwrap();
+        rev.add_transition(
+            Transition::new("loopA")
+                .delay(1)
+                .frequency(Expr::constant(1.0 - 1.0 / m))
+                .input(a, 1)
+                .output(a, 1),
+        )
+        .unwrap();
+        rev.add_transition(
+            Transition::new("exitA")
+                .delay(1)
+                .frequency(Expr::constant(1.0 / m))
+                .resource("lambda")
+                .input(a, 1)
+                .output(b, 1),
+        )
+        .unwrap();
+        let engine = lump_engine(LumpSel::Auto);
+        let first = engine.analyze(&sym2(m)).unwrap();
+        let before = cache_stats();
+        let second = engine.analyze(&rev).unwrap();
+        assert_eq!(cache_stats().hits, before.hits + 1);
+        assert!(second.lumped());
+        let orig_exit = sym2(m).transition_by_name("exitB").unwrap();
+        let rev_exit = rev.transition_by_name("exitB").unwrap();
+        assert_ne!(orig_exit, rev_exit, "permutation test needs differing ids");
+        let want = first.transition_usage(orig_exit);
+        assert!(want > 0.0);
+        assert!(
+            (second.transition_usage(rev_exit) - want).abs() < 1e-12,
+            "remapped lumped transition_usage must match"
+        );
     }
 }

@@ -81,6 +81,7 @@ pub mod dot;
 pub mod engine;
 pub mod geometric;
 pub mod invariant;
+pub mod lump;
 pub mod par;
 pub mod parse;
 pub mod sim;
@@ -88,6 +89,7 @@ pub mod sim;
 pub use engine::{Analysis, AnalysisEngine, BackendKind, BackendSel, DesOptions, EngineConfig};
 pub use error::GtpnError;
 pub use expr::{EvalContext, Expr};
+pub use lump::LumpSel;
 pub use net::{Net, PlaceId, TransId, Transition};
 pub use par::ParallelBudget;
 pub use reach::ReachabilityGraph;

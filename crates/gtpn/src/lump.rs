@@ -1,0 +1,540 @@
+//! Exact aggregation (lumping) of the embedded Markov chain.
+//!
+//! The paper's conversation nets are built from geometric stages: every
+//! timed transition has delay 1 (large constant delays are replaced by
+//! delay-1 exit/loop pairs, §6.6.1) and zero-delay transitions are
+//! eliminated inline by the instantaneous phase. In such a net every
+//! in-progress firing of a tangible state has remaining time exactly 1,
+//! so the time advance completes *all* of them and the successor
+//! distribution of a tangible state `(m, F)` depends only on its
+//! **post-completion marking** `u = m + Σ outputs(F)`.
+//!
+//! That is strong lumpability in its strongest form — all states of a
+//! class share one outgoing row — so the chain quotiented by `u` is an
+//! exact reduction, not an approximation:
+//!
+//! * **Lumped states** are the reachable post-completion markings. The
+//!   raw chain's `n` permutation-symmetric clients generate one tangible
+//!   state per (marking × in-progress multiset) combination; the quotient
+//!   keeps only the occupancy vector, shrinking the chain by the number
+//!   of ways the same marking is reached with different firing multisets
+//!   (11–16× at n = 4–6 for the Architecture II net, growing with n).
+//! * **Lumped edges** `u → u'` carry the summed probability of every
+//!   phase outcome of `u` whose own post-completion marking is `u'`.
+//! * **De-lumping is exact.** One-step balance gives the raw stationary
+//!   distribution as `π(x) = Σ_u π̄(u)·D(u)(x)`, where `D(u)` is the
+//!   instantaneous-phase outcome distribution of `u`. Every reported
+//!   measure is linear in `π`, so it is recovered from per-lumped-state
+//!   conditional expectations accumulated during expansion:
+//!   `E[c_t | u]` (mean in-progress firings of transition `t`) and
+//!   `E[m_p | u]` (mean tokens in place `p`). All sojourn times are 1 on
+//!   both sides, so embedded and time-weighted distributions coincide and
+//!   no re-weighting is needed.
+//!
+//! A net qualifies ([`lumpable`]) exactly when every transition's delay
+//! is ≤ 1. Heterogeneous delays leave firings part-way through their
+//! duration at the time advance, the successor distribution then depends
+//! on the residual-firing multiset, and lumping correctly declines — the
+//! raw pipeline handles those nets unchanged.
+//!
+//! The expansion is a frontier-ordered level-synchronous BFS over
+//! post-completion markings, parallelized and made deterministic exactly
+//! like the raw build ([`crate::reach`]): workers expand disjoint chunks
+//! of a level, results are reduced in frontier order, and successor
+//! markings are interned in each state's phase-outcome order — state
+//! numbering, edge lists and every accumulated float are byte-identical
+//! to a serial build.
+
+use crate::error::GtpnError;
+use crate::net::Net;
+use crate::par::ParallelBudget;
+use crate::reach::{instantaneous_phase, ReachabilityGraph};
+use crate::solve::Solution;
+use crate::state::{Marking, State};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Frontier width below which a level is expanded serially; see
+/// [`crate::reach`]'s constant of the same name.
+const PAR_MIN_FRONTIER: usize = 64;
+
+/// Target states per self-scheduled work chunk in a parallel level.
+const PAR_CHUNK: usize = 16;
+
+/// Lumping policy of an engine (`HSIPC_LUMP`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LumpSel {
+    /// Lump whenever the net qualifies ([`lumpable`]) — the default.
+    #[default]
+    Auto,
+    /// Same behavior as [`Auto`](LumpSel::Auto): lumping is exact, so
+    /// "on" cannot force it onto a net whose delay structure disqualifies
+    /// it; the variant exists so `HSIPC_LUMP=on` reads as the stated
+    /// intent in scripts and CI legs.
+    On,
+    /// Never lump; every exact solve runs on the raw tangible chain.
+    Off,
+}
+
+impl LumpSel {
+    /// Policy selected by `HSIPC_LUMP` (`auto`, `on`/`1` or `off`/`0`,
+    /// case-insensitive); unset or unrecognized values mean [`Auto`].
+    /// Read fresh on every call — not latched — so tests and CI identity
+    /// legs can flip it within one process.
+    ///
+    /// [`Auto`]: LumpSel::Auto
+    pub fn from_env() -> LumpSel {
+        match std::env::var("HSIPC_LUMP") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("on") => LumpSel::On,
+            Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => LumpSel::Off,
+            _ => LumpSel::Auto,
+        }
+    }
+
+    /// Whether this policy permits lumping at all.
+    pub fn enabled(self) -> bool {
+        !matches!(self, LumpSel::Off)
+    }
+}
+
+/// Whether `net` qualifies for exact lumping: valid and every transition
+/// delay ≤ 1 (see the module docs for why that is the exact criterion).
+/// Permutation-invariant, so it answers identically for a canonical
+/// reordering of the same net.
+pub fn lumpable(net: &Net) -> bool {
+    net.validate().is_ok()
+        && (0..net.transition_count()).all(|t| net.transition_delay(crate::net::TransId(t)) <= 1)
+}
+
+/// The quotient chain plus the per-state conditional expectations needed
+/// to de-lump its solution; see the module docs.
+#[derive(Debug)]
+pub(crate) struct LumpedGraph {
+    /// The lumped embedded chain: states are post-completion markings
+    /// (with empty firing multisets), all sojourns 1. Solvers run on it
+    /// unchanged.
+    pub(crate) graph: ReachabilityGraph,
+    /// Row-major `states × transition_count`: `E[c_t | u]`, the expected
+    /// number of in-progress firings of each transition conditioned on
+    /// the lumped state.
+    usage: Vec<f64>,
+    /// Row-major `states × place_count`: `E[m_p | u]`, the expected
+    /// tangible token count of each place conditioned on the lumped state.
+    tokens: Vec<f64>,
+}
+
+/// The de-lumped steady-state measures, shaped like [`Solution`]'s
+/// aggregates so the engine can serve them through the same accessors.
+#[derive(Debug)]
+pub(crate) struct Delumped {
+    /// Resource label → time-weighted mean in-progress count.
+    pub(crate) resource_usage: HashMap<String, f64>,
+    /// Resource label → minimum delay among its transitions.
+    pub(crate) resource_delay: HashMap<String, u64>,
+    /// Per-place time-averaged token counts.
+    pub(crate) mean_tokens: Vec<f64>,
+    /// Per-transition time-averaged in-progress firing counts.
+    pub(crate) transition_usage: Vec<f64>,
+}
+
+impl LumpedGraph {
+    /// Recovers the raw chain's measures from the lumped solution:
+    /// `measure = Σ_u π̄(u)·E[measure | u]` (exact; module docs).
+    pub(crate) fn delump(&self, solution: &Solution) -> Delumped {
+        let pi = solution.state_probabilities();
+        let tcount = self.graph.net.transition_count();
+        let pcount = self.graph.net.place_count();
+        let mut transition_usage = vec![0.0f64; tcount];
+        let mut mean_tokens = vec![0.0f64; pcount];
+        for (si, &p) in pi.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let urow = &self.usage[si * tcount..(si + 1) * tcount];
+            for (acc, &e) in transition_usage.iter_mut().zip(urow) {
+                *acc += p * e;
+            }
+            let trow = &self.tokens[si * pcount..(si + 1) * pcount];
+            for (acc, &e) in mean_tokens.iter_mut().zip(trow) {
+                *acc += p * e;
+            }
+        }
+        let mut resource_usage: HashMap<String, f64> = HashMap::new();
+        let mut resource_delay: HashMap<String, u64> = HashMap::new();
+        for (ti, t) in self.graph.net.transitions.iter().enumerate() {
+            if let Some(r) = &t.resource {
+                *resource_usage.entry(r.clone()).or_insert(0.0) += transition_usage[ti];
+                let d = resource_delay.entry(r.clone()).or_insert(t.delay);
+                *d = (*d).min(t.delay);
+            }
+        }
+        Delumped {
+            resource_usage,
+            resource_delay,
+            mean_tokens,
+            transition_usage,
+        }
+    }
+}
+
+/// One lumped state's expansion: successor markings with probabilities
+/// (in first-seen phase-outcome order) and the conditional-expectation
+/// rows accumulated over the same outcomes.
+struct LumpExpansion {
+    succ: Vec<(Marking, f64)>,
+    usage_row: Vec<f64>,
+    tokens_row: Vec<f64>,
+}
+
+type LumpResult = Result<LumpExpansion, GtpnError>;
+
+/// A self-scheduled unit of frontier work, as in [`crate::reach`].
+type LevelChunk<'a, 'b> = (usize, &'a [Marking], &'b mut [Option<LumpResult>]);
+
+/// Expands one lumped state: run the instantaneous phase from its marking
+/// (all prior firings completed, so nothing is carried) and fold each
+/// outcome to its own post-completion marking.
+fn expand_lumped(net: &Net, si: usize, u: &Marking, fired: &mut [bool]) -> LumpResult {
+    let tcount = net.transition_count();
+    let pcount = net.place_count();
+    let outcomes = instantaneous_phase(net, u.clone(), Vec::new(), fired)?;
+    let mut succ: Vec<(Marking, f64)> = Vec::with_capacity(outcomes.len());
+    let mut index: HashMap<Marking, usize> = HashMap::with_capacity(outcomes.len());
+    let mut usage_row = vec![0.0f64; tcount];
+    let mut tokens_row = vec![0.0f64; pcount];
+    for (state, p) in outcomes {
+        if state.firings.is_empty() {
+            // A tangible state with nothing in progress never advances:
+            // the raw build reports the same deadlock when it expands it.
+            return Err(GtpnError::Deadlock { state: si });
+        }
+        for (acc, &m) in tokens_row.iter_mut().zip(state.marking.iter()) {
+            *acc += p * f64::from(m);
+        }
+        let mut next = state.marking;
+        for &(t, _) in &state.firings {
+            usage_row[t.0] += p;
+            for &(pl, mult) in net.transition_outputs(t) {
+                next[pl.0] += mult;
+            }
+        }
+        match index.get(&next) {
+            Some(&j) => succ[j].1 += p,
+            None => {
+                index.insert(next.clone(), succ.len());
+                succ.push((next, p));
+            }
+        }
+    }
+    Ok(LumpExpansion {
+        succ,
+        usage_row,
+        tokens_row,
+    })
+}
+
+/// Expands every lumped state of one frontier level, on worker threads
+/// when the level is wide and `par` grants cores — the same disjoint-slot
+/// self-scheduling as the raw build, with the same determinism argument:
+/// `out[i]` is always the expansion of `level[i]`, and `fired` merges are
+/// commutative unions.
+fn expand_level(
+    net: &Net,
+    level: &[Marking],
+    base: usize,
+    par: &ParallelBudget,
+    fired: &mut [bool],
+) -> Vec<LumpResult> {
+    let lease = if level.len() >= PAR_MIN_FRONTIER {
+        par.claim_extra(level.len() / (2 * PAR_CHUNK))
+    } else {
+        par.claim_extra(0)
+    };
+    let workers = 1 + lease.extra();
+    if workers == 1 {
+        return level
+            .iter()
+            .enumerate()
+            .map(|(i, u)| expand_lumped(net, base + i, u, fired))
+            .collect();
+    }
+
+    let chunk = level.len().div_ceil(workers * 4).max(PAR_CHUNK);
+    let mut slots: Vec<Option<LumpResult>> = Vec::with_capacity(level.len());
+    slots.resize_with(level.len(), || None);
+    {
+        let work: Mutex<Vec<LevelChunk<'_, '_>>> = Mutex::new(
+            level
+                .chunks(chunk)
+                .zip(slots.chunks_mut(chunk))
+                .enumerate()
+                .map(|(ci, (us, os))| (base + ci * chunk, us, os))
+                .collect(),
+        );
+        let run = |fired: &mut [bool]| loop {
+            let item = work.lock().expect("lumped level queue poisoned").pop();
+            let Some((start, us, os)) = item else { break };
+            for (i, (u, slot)) in us.iter().zip(os.iter_mut()).enumerate() {
+                *slot = Some(expand_lumped(net, start + i, u, fired));
+            }
+        };
+        let tcount = fired.len();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..lease.extra())
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local = vec![false; tcount];
+                        run(&mut local);
+                        local
+                    })
+                })
+                .collect();
+            run(fired);
+            for h in handles {
+                match h.join() {
+                    Ok(local) => {
+                        for (f, l) in fired.iter_mut().zip(local) {
+                            *f |= l;
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every lumped frontier state expanded"))
+        .collect()
+}
+
+/// Builds the lumped chain of `net` directly — post-completion markings
+/// are interned without ever materializing the raw tangible state space.
+///
+/// The caller is responsible for checking [`lumpable`] first; the budget
+/// applies to *lumped* states, so an `Auto` engine falls back to DES only
+/// past the quotient chain's size.
+///
+/// # Errors
+///
+/// Those of [`Net::reachability`], with [`GtpnError::StateSpaceExceeded`]
+/// measured against the lumped state count.
+pub(crate) fn reach_lumped_budgeted(
+    net: &Net,
+    max_states: usize,
+    par: &ParallelBudget,
+) -> Result<LumpedGraph, GtpnError> {
+    net.validate()?;
+    let tcount = net.transition_count();
+    let mut states: Vec<Marking> = Vec::new();
+    let mut index: HashMap<Marking, usize> = HashMap::new();
+    let mut edges: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut usage: Vec<f64> = Vec::new();
+    let mut tokens: Vec<f64> = Vec::new();
+
+    let intern = |u: Marking,
+                  states: &mut Vec<Marking>,
+                  index: &mut HashMap<Marking, usize>|
+     -> Result<usize, GtpnError> {
+        if let Some(&i) = index.get(&u) {
+            return Ok(i);
+        }
+        if states.len() >= max_states {
+            return Err(GtpnError::StateSpaceExceeded { limit: max_states });
+        }
+        states.push(u.clone());
+        index.insert(u, states.len() - 1);
+        Ok(states.len() - 1)
+    };
+
+    let mut fired = vec![false; tcount];
+    // The initial marking is the chain's first post-completion marking
+    // ("everything completed before time zero"); its expansion is exactly
+    // the raw build's initial instantaneous phase.
+    intern(net.initial_marking(), &mut states, &mut index)?;
+
+    let mut cursor = 0;
+    while cursor < states.len() {
+        let level_end = states.len();
+        let expanded = expand_level(net, &states[cursor..level_end], cursor, par, &mut fired);
+        for result in expanded {
+            let exp = result?;
+            let mut out: Vec<(usize, f64)> = Vec::with_capacity(exp.succ.len());
+            for (u, p) in exp.succ {
+                let j = intern(u, &mut states, &mut index)?;
+                out.push((j, p));
+            }
+            edges.push(out);
+            usage.extend_from_slice(&exp.usage_row);
+            tokens.extend_from_slice(&exp.tokens_row);
+        }
+        cursor = level_end;
+    }
+
+    let count = states.len();
+    let graph = ReachabilityGraph {
+        net: net.clone(),
+        states: states
+            .into_iter()
+            .map(|u| State::new(u, Vec::new()))
+            .collect(),
+        edges,
+        sojourn: vec![1; count],
+        fired,
+    };
+    Ok(LumpedGraph {
+        graph,
+        usage,
+        tokens,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::net::Transition;
+
+    /// `n` clients cycling through a geometric stage (mean `m`) that
+    /// competes for one shared server token — the shape of the paper's
+    /// conversation nets, fully symmetric in the clients.
+    fn symmetric(n: u32, m: f64) -> Net {
+        let mut net = Net::new("sym");
+        let p = net.add_place("Clients", n);
+        let srv = net.add_place("Server", 1);
+        let q = net.add_place("Done", 0);
+        net.add_transition(
+            Transition::new("serve")
+                .delay(1)
+                .frequency(Expr::constant(1.0 / m))
+                .resource("lambda")
+                .input(p, 1)
+                .input(srv, 1)
+                .output(q, 1)
+                .output(srv, 1),
+        )
+        .unwrap();
+        net.add_transition(
+            Transition::new("think")
+                .delay(1)
+                .frequency(Expr::constant(1.0 - 1.0 / m))
+                .input(p, 1)
+                .output(p, 1),
+        )
+        .unwrap();
+        net.add_transition(Transition::new("recycle").delay(0).input(q, 1).output(p, 1))
+            .unwrap();
+        net
+    }
+
+    fn solve_raw(net: &Net) -> Solution {
+        net.reachability(100_000)
+            .unwrap()
+            .solve(1e-13, 200_000)
+            .unwrap()
+    }
+
+    fn solve_lumped(net: &Net) -> (LumpedGraph, Solution) {
+        let lumped = reach_lumped_budgeted(net, 100_000, &ParallelBudget::serial()).unwrap();
+        let sol = lumped.graph.solve(1e-13, 200_000).unwrap();
+        (lumped, sol)
+    }
+
+    #[test]
+    fn lumpable_requires_unit_delays() {
+        assert!(lumpable(&symmetric(2, 4.0)));
+        let mut hetero = Net::new("hetero");
+        let a = hetero.add_place("A", 1);
+        hetero
+            .add_transition(Transition::new("T2").delay(2).input(a, 1).output(a, 1))
+            .unwrap();
+        assert!(!lumpable(&hetero));
+        assert!(!lumpable(&Net::new("empty")));
+    }
+
+    #[test]
+    fn lumped_chain_is_smaller_and_measures_agree() {
+        for n in [2u32, 3, 4] {
+            let net = symmetric(n, 5.0);
+            let raw = solve_raw(&net);
+            let (lumped, sol) = solve_lumped(&net);
+            let raw_states = net.reachability(100_000).unwrap().state_count();
+            assert!(
+                lumped.graph.state_count() <= raw_states,
+                "n={n}: lumped {} > raw {raw_states}",
+                lumped.graph.state_count()
+            );
+            let d = lumped.delump(&sol);
+            let want = raw.resource_usage("lambda").unwrap();
+            let got = d.resource_usage["lambda"];
+            assert!(
+                (want - got).abs() <= 1e-10,
+                "n={n}: usage {got} vs raw {want}"
+            );
+            for t in 0..net.transition_count() {
+                let id = crate::net::TransId(t);
+                assert!(
+                    (raw.transition_usage(id) - d.transition_usage[t]).abs() <= 1e-10,
+                    "n={n}: transition {t} usage diverged"
+                );
+            }
+            let raw_graph = net.reachability(100_000).unwrap();
+            for p in 0..net.place_count() {
+                let id = crate::net::PlaceId(p);
+                assert!(
+                    (raw_graph.mean_tokens(&raw, id) - d.mean_tokens[p]).abs() <= 1e-10,
+                    "n={n}: place {p} tokens diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lumped_build_is_deterministic_across_budgets() {
+        // Wide enough to cross PAR_MIN_FRONTIER at some level.
+        let net = symmetric(6, 7.0);
+        let serial = reach_lumped_budgeted(&net, 100_000, &ParallelBudget::serial()).unwrap();
+        let par = reach_lumped_budgeted(&net, 100_000, &ParallelBudget::new(8)).unwrap();
+        assert_eq!(serial.graph.states, par.graph.states);
+        assert_eq!(serial.graph.fired, par.graph.fired);
+        assert_eq!(serial.graph.edges.len(), par.graph.edges.len());
+        for (a, b) in serial.graph.edges.iter().zip(&par.graph.edges) {
+            assert_eq!(a.len(), b.len());
+            for (&(i, p), &(j, q)) in a.iter().zip(b) {
+                assert_eq!(i, j);
+                assert_eq!(p.to_bits(), q.to_bits(), "edge probability drifted");
+            }
+        }
+        for (a, b) in serial.usage.iter().zip(&par.usage) {
+            assert_eq!(a.to_bits(), b.to_bits(), "usage expectation drifted");
+        }
+        for (a, b) in serial.tokens.iter().zip(&par.tokens) {
+            assert_eq!(a.to_bits(), b.to_bits(), "token expectation drifted");
+        }
+    }
+
+    #[test]
+    fn lumped_budget_counts_lumped_states() {
+        let net = symmetric(4, 5.0);
+        let count = reach_lumped_budgeted(&net, 100_000, &ParallelBudget::serial())
+            .unwrap()
+            .graph
+            .state_count();
+        let err = reach_lumped_budgeted(&net, count - 1, &ParallelBudget::serial()).unwrap_err();
+        assert!(matches!(
+            err,
+            GtpnError::StateSpaceExceeded { limit } if limit == count - 1
+        ));
+    }
+
+    #[test]
+    fn lumped_deadlock_detected() {
+        let mut net = Net::new("dead");
+        let a = net.add_place("A", 1);
+        let b = net.add_place("B", 0);
+        net.add_transition(Transition::new("T").delay(1).input(a, 1).output(b, 1))
+            .unwrap();
+        let err = reach_lumped_budgeted(&net, 100, &ParallelBudget::serial()).unwrap_err();
+        assert!(matches!(err, GtpnError::Deadlock { .. }));
+    }
+}

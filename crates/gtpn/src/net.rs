@@ -194,6 +194,16 @@ impl Net {
         self.transitions[transition.0].delay
     }
 
+    /// Output arcs `(place, multiplicity)` of a transition — the tokens it
+    /// deposits at end-of-firing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transition` does not belong to this net.
+    pub fn transition_outputs(&self, transition: TransId) -> &[(PlaceId, u32)] {
+        &self.transitions[transition.0].outputs
+    }
+
     /// Looks up a transition id by name (first match).
     pub fn transition_by_name(&self, name: &str) -> Option<TransId> {
         self.transitions

@@ -424,7 +424,9 @@ impl ReachabilityGraph {
 
 /// Runs the instantaneous firing phase from `marking` with `carried`
 /// in-progress firings; returns the distribution over tangible states.
-fn instantaneous_phase(
+/// Shared with the lumped expansion ([`crate::lump`]), whose states are
+/// exactly the post-completion markings this phase starts from.
+pub(crate) fn instantaneous_phase(
     net: &Net,
     marking: Marking,
     carried: Vec<(TransId, u64)>,

@@ -3,7 +3,8 @@
 use gtpn::geometric::GeometricStage;
 use gtpn::sim::{simulate, SimOptions};
 use gtpn::{
-    canonical, invariant, AnalysisEngine, BackendSel, EngineConfig, Net, PlaceId, Transition,
+    canonical, invariant, AnalysisEngine, BackendSel, EngineConfig, LumpSel, Net, PlaceId, TransId,
+    Transition,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -71,6 +72,42 @@ fn stage_ring_ordered(means: &[f64], place_order: &[usize], stage_order: &[usize
         stage.build(&mut net).unwrap();
     }
     net
+}
+
+/// `n` exchangeable clients cycling think → serve through a single shared
+/// server token — the shape whose permutation symmetry the exact lumping
+/// pre-pass collapses. Both stages build to unit-delay transitions, so the
+/// net always qualifies for lumping.
+fn symmetric_station(n: u32, think_m: f64, serve_m: f64) -> Net {
+    let mut net = Net::new("sym-station");
+    let think = net.add_place("Think", n);
+    let queue = net.add_place("Queue", 0);
+    let server = net.add_place("Server", 1);
+    GeometricStage::new("Think", think_m)
+        .input(think, 1)
+        .output(queue, 1)
+        .build(&mut net)
+        .unwrap();
+    GeometricStage::new("Serve", serve_m)
+        .input(queue, 1)
+        .output(think, 1)
+        .held(server)
+        .resource("lambda")
+        .build(&mut net)
+        .unwrap();
+    net
+}
+
+/// A fresh Exact engine with the given lumping policy and no shared cache.
+fn lump_engine(lump: LumpSel) -> AnalysisEngine {
+    AnalysisEngine::new(EngineConfig {
+        backend: BackendSel::Exact,
+        tolerance: 1e-13,
+        max_sweeps: 300_000,
+        state_budget: 200_000,
+        lump,
+        ..EngineConfig::default()
+    })
 }
 
 proptest! {
@@ -273,6 +310,65 @@ proptest! {
         for (a, b) in ss.state_probabilities().iter().zip(ps.state_probabilities()) {
             prop_assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    /// Exact lumping is exact: on random symmetric client–server stations
+    /// the lumped engine reproduces the raw chain's numbers — resource
+    /// usage, per-place mean tokens, and per-transition usage — within
+    /// 1e-10, while never enlarging the chain.
+    #[test]
+    fn lumped_solution_matches_raw(
+        n in 2u32..=4,
+        think_m in 1.0f64..30.0,
+        serve_m in 1.0f64..30.0,
+    ) {
+        let net = symmetric_station(n, think_m, serve_m);
+        prop_assert!(gtpn::lump::lumpable(&net), "unit-delay net must qualify");
+        let raw = lump_engine(LumpSel::Off).analyze(&net).unwrap();
+        let lumped = lump_engine(LumpSel::On).analyze(&net).unwrap();
+        prop_assert!(lumped.lumped() && !raw.lumped());
+        prop_assert!(lumped.states() <= raw.states(),
+            "quotient {} vs raw {}", lumped.states(), raw.states());
+        let (a, b) = (
+            raw.resource_usage("lambda").unwrap(),
+            lumped.resource_usage("lambda").unwrap(),
+        );
+        prop_assert!((a - b).abs() < 1e-10,
+            "n={} think={} serve={}: raw usage {} vs lumped {}",
+            n, think_m, serve_m, a, b);
+        for p in 0..net.place_count() {
+            let (a, b) = (raw.mean_tokens(PlaceId(p)), lumped.mean_tokens(PlaceId(p)));
+            prop_assert!((a - b).abs() < 1e-10, "place {}: {} vs {}", p, a, b);
+        }
+        for t in 0..net.transition_count() {
+            let (a, b) = (raw.transition_usage(TransId(t)), lumped.transition_usage(TransId(t)));
+            prop_assert!((a - b).abs() < 1e-10, "transition {}: {} vs {}", t, a, b);
+        }
+    }
+
+    /// Delay heterogeneity disqualifies lumping, for any slow-phase length:
+    /// the engine declines the pre-pass and falls back to the raw chain,
+    /// so an Auto-lump engine matches a lump-off engine to the bit.
+    #[test]
+    fn heterogeneous_delays_decline_lumping(d in 2u64..6) {
+        let mut net = Net::new("hetero");
+        let a = net.add_place("A", 1);
+        let b = net.add_place("B", 0);
+        net.add_transition(
+            Transition::new("slow").delay(d).resource("lambda").input(a, 1).output(b, 1),
+        )
+        .unwrap();
+        net.add_transition(Transition::new("back").delay(1).input(b, 1).output(a, 1))
+            .unwrap();
+        prop_assert!(!gtpn::lump::lumpable(&net), "delay {} must disqualify", d);
+        let auto = lump_engine(LumpSel::Auto).analyze(&net).unwrap();
+        let off = lump_engine(LumpSel::Off).analyze(&net).unwrap();
+        prop_assert!(!auto.lumped());
+        prop_assert_eq!(
+            auto.resource_usage("lambda").unwrap().to_bits(),
+            off.resource_usage("lambda").unwrap().to_bits(),
+            "declined lumping must leave the raw path untouched"
+        );
     }
 
     /// Weighted production/consumption: T consuming a of A and producing b

@@ -12,12 +12,13 @@ use archsim::timings::Architecture;
 use std::time::Duration;
 
 /// The variables [`LiveEnv`] understands.
-const KNOWN: [&str; 7] = [
+const KNOWN: [&str; 8] = [
     "HSIPC_LIVE_ARCH",
     "HSIPC_LIVE_NODES",
     "HSIPC_LIVE_CONVERSATIONS",
     "HSIPC_LIVE_DURATION_MS",
     "HSIPC_LIVE_SCALE",
+    "HSIPC_LIVE_SERVER_COMPUTE_US",
     "HSIPC_LIVE_BUFFERS",
     "HSIPC_LIVE_CLOCK",
 ];
@@ -61,6 +62,9 @@ pub struct LiveEnv {
     pub duration_ms: Option<u64>,
     /// `HSIPC_LIVE_SCALE`: activity-time scale factor (> 0).
     pub scale: Option<f64>,
+    /// `HSIPC_LIVE_SERVER_COMPUTE_US`: per-request server compute X,
+    /// microseconds (≥ 0; 0 is the paper's maximum-communication load).
+    pub server_compute_us: Option<f64>,
     /// `HSIPC_LIVE_BUFFERS`: kernel buffers per node (≥ 1).
     pub buffers: Option<u16>,
     /// `HSIPC_LIVE_CLOCK`: `real` or `virtual`.
@@ -123,6 +127,21 @@ impl LiveEnv {
             }
             env.scale = Some(scale);
         }
+        if let Some(v) = get("HSIPC_LIVE_SERVER_COMPUTE_US") {
+            let x: f64 = v.parse().map_err(|_| {
+                err(
+                    "HSIPC_LIVE_SERVER_COMPUTE_US",
+                    format!("not a number: `{v}`"),
+                )
+            })?;
+            if !(x >= 0.0 && x.is_finite()) {
+                return Err(err(
+                    "HSIPC_LIVE_SERVER_COMPUTE_US",
+                    format!("must be a non-negative finite number, got `{v}`"),
+                ));
+            }
+            env.server_compute_us = Some(x);
+        }
         if let Some(v) = get("HSIPC_LIVE_BUFFERS") {
             env.buffers = Some(parse_min("HSIPC_LIVE_BUFFERS", &v, 1)?);
         }
@@ -153,6 +172,9 @@ impl LiveEnv {
         }
         if let Some(v) = self.scale {
             config.scale = v;
+        }
+        if let Some(v) = self.server_compute_us {
+            config.server_compute_us = v;
         }
         if let Some(v) = self.buffers {
             config.buffers = v;
@@ -221,6 +243,7 @@ mod tests {
             ("HSIPC_LIVE_CONVERSATIONS", " 128 "),
             ("HSIPC_LIVE_DURATION_MS", "250"),
             ("HSIPC_LIVE_SCALE", "0.5"),
+            ("HSIPC_LIVE_SERVER_COMPUTE_US", "5700"),
             ("HSIPC_LIVE_BUFFERS", "16"),
             ("HSIPC_LIVE_CLOCK", "virtual"),
             ("HSIPC_LIVE_ARCH", "II"),
@@ -233,6 +256,7 @@ mod tests {
         assert_eq!(config.conversations, 128);
         assert_eq!(config.duration, Duration::from_millis(250));
         assert_eq!(config.scale, 0.5);
+        assert_eq!(config.server_compute_us, 5_700.0);
         assert_eq!(config.buffers, 16);
         assert_eq!(config.clock, ClockMode::Virtual);
     }
@@ -250,6 +274,9 @@ mod tests {
             ("HSIPC_LIVE_SCALE", "fast", "not a number"),
             ("HSIPC_LIVE_SCALE", "0", "positive"),
             ("HSIPC_LIVE_SCALE", "-1.5", "positive"),
+            ("HSIPC_LIVE_SERVER_COMPUTE_US", "slow", "not a number"),
+            ("HSIPC_LIVE_SERVER_COMPUTE_US", "-10", "non-negative"),
+            ("HSIPC_LIVE_SERVER_COMPUTE_US", "inf", "non-negative"),
             ("HSIPC_LIVE_BUFFERS", "70000", "not a non-negative integer"),
             ("HSIPC_LIVE_CLOCK", "wall", "unknown clock mode"),
             ("HSIPC_LIVE_ARCH", "V", "unknown architecture"),
@@ -262,6 +289,12 @@ mod tests {
                 e.message
             );
         }
+    }
+
+    #[test]
+    fn zero_server_compute_is_the_max_load_point() {
+        let env = LiveEnv::from_vars(vars(&[("HSIPC_LIVE_SERVER_COMPUTE_US", "0")])).unwrap();
+        assert_eq!(env.server_compute_us, Some(0.0));
     }
 
     #[test]

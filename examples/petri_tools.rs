@@ -45,8 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Exact analysis through the engine; its retained reachability graph
     // answers the structural queries (bounds, liveness).
+    // Lumping off: this example inspects the raw reachability graph
+    // (bounds, dead transitions), which lumped runs do not retain.
     let engine = AnalysisEngine::new(EngineConfig {
         backend: BackendSel::Exact,
+        lump: hsipc::gtpn::LumpSel::Off,
         ..EngineConfig::default()
     });
     let analysis = engine.analyze(&net)?;

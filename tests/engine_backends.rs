@@ -14,6 +14,9 @@ fn auto_engine() -> AnalysisEngine {
     AnalysisEngine::new(EngineConfig {
         backend: BackendSel::Auto,
         state_budget: 10_000,
+        // Lumping off: the n=6 lumped chain (2_982 states) would fit the
+        // 10k budget and defeat the fallback this suite exercises.
+        lump: hsipc::gtpn::LumpSel::Off,
         ..EngineConfig::default()
     })
 }
@@ -82,6 +85,94 @@ fn des_estimate_cross_checks_with_archsim_replications() {
         model.half_width_per_ms,
         measured.throughput_per_ms,
         measured.half_width_per_ms
+    );
+}
+
+/// Lumping does not lean on client symmetry — the delay-homogeneity
+/// criterion admits every chapter-6/7 net. The two-host Chapter 7 variant
+/// (the host pair breaks the single-processor exchangeability) must still
+/// agree with the raw chain to solver precision.
+#[test]
+fn lumped_multi_host_net_agrees_with_raw() {
+    let engine = |lump: hsipc::gtpn::LumpSel| {
+        AnalysisEngine::new(EngineConfig {
+            backend: BackendSel::Exact,
+            // Tighter than the default: the 1e-10 agreement bound below
+            // needs both chains converged past it.
+            tolerance: 1e-13,
+            max_sweeps: 400_000,
+            lump,
+            ..EngineConfig::default()
+        })
+    };
+    let on = local::solve_with_hosts_in(
+        &engine(hsipc::gtpn::LumpSel::On),
+        Architecture::MessageCoprocessor,
+        3,
+        5_700.0,
+        2,
+    )
+    .unwrap();
+    let off = local::solve_with_hosts_in(
+        &engine(hsipc::gtpn::LumpSel::Off),
+        Architecture::MessageCoprocessor,
+        3,
+        5_700.0,
+        2,
+    )
+    .unwrap();
+    assert_eq!(on.backend, BackendKind::Exact);
+    assert!(
+        on.states < off.states,
+        "quotient {} vs raw {}",
+        on.states,
+        off.states
+    );
+    // Residual tolerance, not solution error: the raw chain's larger
+    // spectral radius leaves it a couple of decades above the 1e-13
+    // stopping residual, so the agreement bound is 1e-9 relative.
+    let gap = (on.throughput_per_ms - off.throughput_per_ms).abs();
+    assert!(
+        gap < 1e-9 * off.throughput_per_ms.max(1e-3),
+        "lumped {} vs raw {}",
+        on.throughput_per_ms,
+        off.throughput_per_ms
+    );
+}
+
+/// The lumped exact solution at n=8 — a population the raw chain could
+/// only estimate — cross-checks against the DES backend's own 95%
+/// confidence interval on the identical net. Two independent paths to the
+/// same number: quotient-chain Gauss–Seidel vs replicated simulation.
+#[test]
+fn lumped_exact_n8_lands_inside_the_des_interval() {
+    let x = 5_700.0;
+    let exact = AnalysisEngine::new(EngineConfig {
+        backend: BackendSel::Exact,
+        state_budget: 2_000_000,
+        lump: hsipc::gtpn::LumpSel::On,
+        ..EngineConfig::default()
+    });
+    let e = local::solve_in(&exact, Architecture::MessageCoprocessor, 8, x).unwrap();
+    assert_eq!(e.backend, BackendKind::Exact);
+    assert!(e.states > 0, "lumped runs report the quotient state count");
+    assert!(e.half_width_per_ms.is_none());
+
+    let des = AnalysisEngine::new(EngineConfig {
+        backend: BackendSel::Des,
+        ..EngineConfig::default()
+    });
+    let d = local::solve_in(&des, Architecture::MessageCoprocessor, 8, x).unwrap();
+    assert_eq!(d.backend, BackendKind::Des);
+    let hw = d
+        .half_width_per_ms
+        .expect("DES estimates carry a confidence interval");
+    let gap = (e.throughput_per_ms - d.throughput_per_ms).abs();
+    assert!(
+        gap <= hw,
+        "exact {} outside DES {} ± {hw}",
+        e.throughput_per_ms,
+        d.throughput_per_ms
     );
 }
 

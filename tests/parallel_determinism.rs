@@ -29,6 +29,9 @@ fn engine(cores: usize, par_solve: bool) -> AnalysisEngine {
         // stores travel with the fixed point's closures, not with the
         // threads the budget happens to grant.
         warm_start: true,
+        // Explicitly Auto: the budget-invariance assertions below must
+        // also hold when the lumped chain is built frontier-parallel.
+        lump: hsipc::gtpn::LumpSel::Auto,
     })
     .with_cache(256)
     .with_budget(Arc::new(ParallelBudget::new(cores)))

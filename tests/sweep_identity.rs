@@ -76,6 +76,42 @@ fn warm_start_grid_matches_cold_start() {
     );
 }
 
+/// Exact lumping is a solver optimization, not a result change: the same
+/// compute × conversations grid rendered at figure precision through a
+/// lumping engine prints exactly what the raw-chain engine prints. Each
+/// engine carries a private cache (the orbit-aware key would otherwise
+/// keep the two policies apart anyway), and the lumped leg runs on the
+/// worker pool so the frontier-parallel quotient build is under test too.
+#[test]
+fn lumped_grid_matches_raw_grid() {
+    let engine = |lump: hsipc::gtpn::LumpSel| {
+        AnalysisEngine::new(EngineConfig {
+            lump,
+            ..EngineConfig::default()
+        })
+        .with_cache(256)
+    };
+    let grid = sweep::cartesian(&[0.0f64, 1_500.0, 5_700.0], &[1u32, 2, 4]);
+    let render = |e: &AnalysisEngine, &(x_us, n): &(f64, u32)| {
+        let s = models::local::solve_in(e, Architecture::MessageCoprocessor, n, x_us)
+            .expect("local model solves");
+        format!("{:.4}", s.throughput_per_ms)
+    };
+    let lumped = grid.eval_in_with(
+        &engine(hsipc::gtpn::LumpSel::On),
+        ExecMode::Parallel,
+        4,
+        render,
+    );
+    let raw = grid.eval_in_with(
+        &engine(hsipc::gtpn::LumpSel::Off),
+        ExecMode::Sequential,
+        1,
+        render,
+    );
+    assert_eq!(lumped, raw, "lumped grid diverged from the raw chain");
+}
+
 /// Two DES runs from the same seed produce identical metrics — the
 /// foundation the fig6.15 validation grid's reproducibility rests on.
 #[test]
