@@ -35,7 +35,7 @@ fn main() -> ExitCode {
     });
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!(
-            "usage: repro [--sequential] [--timing] [list | all | live | <experiment-id>...]"
+            "usage: repro [--sequential] [--timing] [list | all | live | live-sweep | <experiment-id>...]"
         );
         eprintln!("experiment ids: table3.1..table3.7, table5.1, table5.2,");
         eprintln!("  table6.1, table6.2, table6.4..table6.25, fig6.7..fig6.23, fig7.1, fig7.scale");
@@ -43,10 +43,23 @@ fn main() -> ExitCode {
         eprintln!("  [--duration-ms N] [--scale F] [--server-compute-us F] [--buffers N]");
         eprintln!("  [--remote] [--no-json]");
         eprintln!("  [--clock real|virtual|both]  (flags also accept --flag=value)");
+        eprintln!(
+            "live-sweep flags: [--arch ...] [--x-list F,F,...] [--conversations-list N,N,...]"
+        );
+        eprintln!(
+            "  [--buffers-list N,N,...] [--nodes N] [--duration-ms N] [--scale F] [--remote]"
+        );
+        eprintln!("  [--handoff targeted|broadcast] [--no-json] [--bench-handoff]");
+        eprintln!(
+            "  [--bench-nodes N] [--bench-conversations N] [--bench-buffers N] [--bench-ms N]"
+        );
         return ExitCode::from(2);
     }
     if args[0] == "live" {
         return run_live(&args[1..]);
+    }
+    if args[0] == "live-sweep" {
+        return run_live_sweep(&args[1..], mode);
     }
     if args[0] == "list" {
         for e in hsipc::experiments::all() {
@@ -329,6 +342,452 @@ fn parse<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
     s.parse().map_err(|_| format!("{flag}: bad value `{s}`"))
 }
 
+fn parse_csv<T: std::str::FromStr>(s: &str, flag: &str) -> Result<Vec<T>, String> {
+    let items: Result<Vec<T>, String> = s
+        .split(',')
+        .map(|item| {
+            let item = item.trim();
+            if item.is_empty() {
+                return Err(format!("{flag}: empty item in `{s}`"));
+            }
+            parse(item, flag)
+        })
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(format!("{flag}: needs at least one value"));
+    }
+    Ok(items)
+}
+
+/// `repro live-sweep`: the tentpole grid — one virtual-clock live run per
+/// (conversations × buffers × arch × X) point, fanned out on the sweep
+/// worker pool, rendered in paper order next to the matching GTPN model
+/// points. Stdout is byte-deterministic (virtual clock everywhere, no
+/// wall-clock content); wall-clock totals and the optional
+/// targeted-vs-broadcast coordinator benchmark go to stderr and
+/// `BENCH_runtime.json`.
+fn run_live_sweep(args: &[String], mode: ExecMode) -> ExitCode {
+    let args: Vec<String> = args
+        .iter()
+        .flat_map(
+            |a| match a.strip_prefix("--").and_then(|r| r.split_once('=')) {
+                Some((flag, value)) => vec![format!("--{flag}"), value.to_string()],
+                None => vec![a.clone()],
+            },
+        )
+        .collect();
+    let env = match runtime::LiveEnv::from_env() {
+        Ok(env) => env,
+        Err(e) => {
+            eprintln!("repro live-sweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Environment first, CLI flags override. The list knobs
+    // (HSIPC_LIVE_SWEEP_*) define axes; the single-run scalars
+    // (HSIPC_LIVE_CONVERSATIONS etc.) degrade to one-point axes when no
+    // list is given. HSIPC_LIVE_CLOCK is ignored: the sweep is
+    // virtual-clock by construction.
+    let mut spec = hsipc::livesweep::SweepSpec::default_curve();
+    if let Some(archs) = env.archs.clone() {
+        spec.archs = archs;
+    }
+    if let Some(nodes) = env.nodes {
+        spec.nodes = nodes;
+    }
+    if let Some(ms) = env.duration_ms {
+        spec.duration = std::time::Duration::from_millis(ms);
+    }
+    if let Some(scale) = env.scale {
+        spec.scale = scale;
+    }
+    if let Some(handoff) = env.handoff {
+        spec.handoff = handoff;
+    }
+    if let Some(x) = env.sweep_x_us.clone() {
+        spec.x_us = x;
+    } else if let Some(x) = env.server_compute_us {
+        spec.x_us = vec![x];
+    }
+    if let Some(conversations) = env.sweep_conversations.clone() {
+        spec.conversations = conversations;
+    } else if let Some(c) = env.conversations {
+        spec.conversations = vec![c];
+    }
+    if let Some(buffers) = env.sweep_buffers.clone() {
+        spec.buffers = buffers;
+    } else if let Some(b) = env.buffers {
+        spec.buffers = vec![b];
+    }
+    let mut json = true;
+    let mut bench_handoff = false;
+    // The deep coordinator benchmark: 64 nodes x 1563 conversations each
+    // (100k conversations fleet-wide) of remote traffic — far past what a
+    // broadcast wakeup handles gracefully, which is the point.
+    let mut bench_nodes: u32 = 64;
+    let mut bench_conversations: u32 = 1_563;
+    let mut bench_buffers: u16 = 64;
+    let mut bench_ms: u64 = 150;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))
+                .cloned()
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--arch" => spec.archs = runtime::env::parse_archs(&value("--arch")?)?,
+                "--x-list" => {
+                    let xs: Vec<f64> = parse_csv(&value("--x-list")?, "--x-list")?;
+                    if let Some(bad) = xs.iter().find(|x| !(**x >= 0.0 && x.is_finite())) {
+                        return Err(format!(
+                            "--x-list: must be non-negative finite numbers, got `{bad}`"
+                        ));
+                    }
+                    spec.x_us = xs;
+                }
+                "--conversations-list" => {
+                    let convs: Vec<u32> =
+                        parse_csv(&value("--conversations-list")?, "--conversations-list")?;
+                    if convs.contains(&0) {
+                        return Err("--conversations-list: conversations must be >= 1".into());
+                    }
+                    spec.conversations = convs;
+                }
+                "--buffers-list" => {
+                    let buffers: Vec<u16> = parse_csv(&value("--buffers-list")?, "--buffers-list")?;
+                    if buffers.contains(&0) {
+                        return Err("--buffers-list: buffers must be >= 1".into());
+                    }
+                    spec.buffers = buffers;
+                }
+                "--nodes" => spec.nodes = parse(&value("--nodes")?, "--nodes")?,
+                "--duration-ms" => {
+                    spec.duration = std::time::Duration::from_millis(parse(
+                        &value("--duration-ms")?,
+                        "--duration-ms",
+                    )?);
+                }
+                "--scale" => spec.scale = parse(&value("--scale")?, "--scale")?,
+                "--remote" => spec.locality = runtime::Locality::NonLocal,
+                "--handoff" => spec.handoff = parse(&value("--handoff")?, "--handoff")?,
+                "--no-json" => json = false,
+                "--bench-handoff" => bench_handoff = true,
+                "--bench-nodes" => bench_nodes = parse(&value("--bench-nodes")?, "--bench-nodes")?,
+                "--bench-conversations" => {
+                    bench_conversations =
+                        parse(&value("--bench-conversations")?, "--bench-conversations")?;
+                }
+                "--bench-buffers" => {
+                    bench_buffers = parse(&value("--bench-buffers")?, "--bench-buffers")?;
+                }
+                "--bench-ms" => bench_ms = parse(&value("--bench-ms")?, "--bench-ms")?,
+                other => return Err(format!("unknown flag `{other}` (try `repro --help`)")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            eprintln!("repro live-sweep: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if spec.locality == runtime::Locality::NonLocal && spec.nodes < 2 {
+        spec.nodes = 2;
+    }
+
+    let threads = sweep::threads();
+    let started = Instant::now();
+    let outcome = hsipc::livesweep::run_with(&spec, mode, threads);
+    let total_seconds = started.elapsed().as_secs_f64();
+    print!("{}", outcome.rendered);
+    // Wall-clock lives on stderr only: the rendered stdout is the
+    // byte-identity surface CI diffs across runs and thread counts.
+    eprintln!(
+        "live-sweep: {} point(s) in {:.2} s wall ({:?}, {} thread(s)); {:.2} s virtual simulated in {:.2} s of run wall ({:.0}x aggregate)",
+        outcome.outcomes.len(),
+        total_seconds,
+        mode,
+        threads,
+        outcome.virtual_seconds,
+        outcome.run_wall_seconds,
+        outcome.virtual_seconds / outcome.run_wall_seconds.max(1e-9),
+    );
+    let bench = if bench_handoff {
+        Some(handoff_bench(
+            bench_nodes,
+            bench_conversations,
+            bench_buffers,
+            bench_ms,
+        ))
+    } else {
+        None
+    };
+    if json {
+        let out = live_sweep_json(
+            &spec,
+            mode,
+            threads,
+            total_seconds,
+            &outcome,
+            bench.as_ref(),
+        );
+        match std::fs::write("BENCH_runtime.json", &out) {
+            Ok(()) => eprintln!("wrote BENCH_runtime.json"),
+            Err(e) => eprintln!("could not write BENCH_runtime.json: {e}"),
+        }
+    }
+    if !outcome.all_clean || !outcome.all_progressed {
+        eprintln!("repro live-sweep: a grid point made no progress or shut down unclean");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// One measured targeted-vs-broadcast coordinator comparison.
+struct HandoffBench {
+    nodes: u32,
+    conversations: u32,
+    buffers: u16,
+    duration_ms: u64,
+    round_trips: u64,
+    handoffs: u64,
+    targeted_wall: f64,
+    broadcast_wall: f64,
+}
+
+impl HandoffBench {
+    fn speedup(&self) -> f64 {
+        self.broadcast_wall / self.targeted_wall.max(1e-9)
+    }
+}
+
+/// Runs one deep virtual fleet twice — targeted handoff, then broadcast —
+/// and measures the wall-clock ratio. Both runs make identical scheduling
+/// decisions (the handoff mode only chooses *how* the next actor wakes),
+/// so every virtual measurement is asserted bit-equal before the timing
+/// comparison is reported.
+fn handoff_bench(nodes: u32, conversations: u32, buffers: u16, duration_ms: u64) -> HandoffBench {
+    let mut config = runtime::Config::new(runtime::Architecture::SmartBus);
+    config.nodes = nodes;
+    config.conversations = conversations;
+    config.buffers = buffers;
+    config.duration = std::time::Duration::from_millis(duration_ms);
+    config.server_compute_us = 0.0;
+    if nodes >= 2 {
+        config.locality = runtime::Locality::NonLocal;
+    }
+    config.clock = runtime::ClockMode::Virtual;
+    eprintln!(
+        "handoff bench: {nodes} node(s) x {conversations} conversation(s) ({} fleet-wide), {duration_ms} ms virtual",
+        u64::from(nodes) * u64::from(conversations),
+    );
+    config.handoff = runtime::Handoff::Targeted;
+    let targeted = runtime::run(&config);
+    config.handoff = runtime::Handoff::Broadcast;
+    let broadcast = runtime::run(&config);
+    assert_eq!(
+        targeted.round_trips, broadcast.round_trips,
+        "handoff mode changed the schedule"
+    );
+    assert_eq!(
+        targeted.handoffs, broadcast.handoffs,
+        "handoff mode changed the handoff count"
+    );
+    assert_eq!(
+        targeted.latency.max_us.to_bits(),
+        broadcast.latency.max_us.to_bits(),
+        "handoff mode changed the measured latency"
+    );
+    let bench = HandoffBench {
+        nodes,
+        conversations,
+        buffers,
+        duration_ms,
+        round_trips: targeted.round_trips,
+        handoffs: targeted.handoffs,
+        targeted_wall: targeted.wall.as_secs_f64(),
+        broadcast_wall: broadcast.wall.as_secs_f64(),
+    };
+    eprintln!(
+        "handoff bench: {} round trip(s), {} handoff(s); targeted {:.3} s vs broadcast {:.3} s wall ({:.2}x)",
+        bench.round_trips,
+        bench.handoffs,
+        bench.targeted_wall,
+        bench.broadcast_wall,
+        bench.speedup(),
+    );
+    bench
+}
+
+/// The machine-readable `repro live-sweep` report: schema v3 with the
+/// per-point rows under `runs` and the sweep/coordinator summary under
+/// `live_sweep`.
+fn live_sweep_json(
+    spec: &hsipc::livesweep::SweepSpec,
+    mode: ExecMode,
+    threads: usize,
+    total_seconds: f64,
+    outcome: &hsipc::livesweep::SweepOutcome,
+    bench: Option<&HandoffBench>,
+) -> String {
+    let mut rows = String::from("[");
+    for (i, o) in outcome.outcomes.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(", ");
+        }
+        let model = o
+            .model_per_ms
+            .map_or_else(|| "null".to_string(), |m| format!("{m:.4}"));
+        let err = o
+            .rel_err_pct(spec.nodes)
+            .map_or_else(|| "null".to_string(), |e| format!("{e:.2}"));
+        let _ = write!(
+            rows,
+            concat!(
+                "{{\"architecture\": \"{arch}\", \"x_us\": {x}, ",
+                "\"conversations_per_node\": {convs}, \"buffers\": {buffers}, ",
+                "\"round_trips\": {rts}, ",
+                "\"live_per_node_ms\": {live:.4}, \"model_per_ms\": {model}, ",
+                "\"rel_err_pct\": {err}, ",
+                "\"latency_us\": {{\"p50\": {p50:.2}, \"p99\": {p99:.2}, \"max\": {max:.2}}}, ",
+                "\"buffer_stalls\": {stalls}, \"peak_ring_queue\": {peak}, ",
+                "\"clean_shutdown\": {clean}}}"
+            ),
+            arch = o.point.architecture.label(),
+            x = o.point.x_us,
+            convs = o.point.conversations,
+            buffers = o.point.buffers,
+            rts = o.report.round_trips,
+            live = o.live_per_node_ms(spec.nodes),
+            model = model,
+            err = err,
+            p50 = o.report.latency.p50_us,
+            p99 = o.report.latency.p99_us,
+            max = o.report.latency.max_us,
+            stalls = o.report.buffer_stalls,
+            peak = o.report.peak_ring_queue,
+            clean = o.report.clean_shutdown,
+        );
+    }
+    rows.push(']');
+    let handoff_bench = bench.map_or_else(
+        || "null".to_string(),
+        |b| {
+            format!(
+                concat!(
+                    "{{\n",
+                    "      \"description\": \"arch III virtual fleet, targeted park/unpark vs shared-condvar broadcast grant; identical schedules, wall-clock only\",\n",
+                    "      \"nodes\": {nodes},\n",
+                    "      \"conversations_per_node\": {convs},\n",
+                    "      \"buffers\": {buffers},\n",
+                    "      \"duration_ms\": {ms},\n",
+                    "      \"round_trips\": {rts},\n",
+                    "      \"handoffs\": {handoffs},\n",
+                    "      \"targeted_wall_seconds\": {t:.4},\n",
+                    "      \"broadcast_wall_seconds\": {b:.4},\n",
+                    "      \"speedup\": {s:.3}\n",
+                    "    }}"
+                ),
+                nodes = b.nodes,
+                convs = b.conversations,
+                buffers = b.buffers,
+                ms = b.duration_ms,
+                rts = b.round_trips,
+                handoffs = b.handoffs,
+                t = b.targeted_wall,
+                b = b.broadcast_wall,
+                s = b.speedup(),
+            )
+        },
+    );
+    let list = |items: &[String]| {
+        let mut s = String::from("[");
+        for (i, item) in items.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(item);
+        }
+        s.push(']');
+        s
+    };
+    let archs = list(
+        &spec
+            .archs
+            .iter()
+            .map(|a| format!("\"{}\"", a.label()))
+            .collect::<Vec<_>>(),
+    );
+    let x_us = list(&spec.x_us.iter().map(|x| format!("{x}")).collect::<Vec<_>>());
+    let conversations = list(
+        &spec
+            .conversations
+            .iter()
+            .map(|c| format!("{c}"))
+            .collect::<Vec<_>>(),
+    );
+    let buffers = list(
+        &spec
+            .buffers
+            .iter()
+            .map(|b| format!("{b}"))
+            .collect::<Vec<_>>(),
+    );
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"hsipc-bench-runtime/v3\",\n",
+            "  \"workload\": {{\n",
+            "    \"nodes\": {nodes},\n",
+            "    \"archs\": {archs},\n",
+            "    \"x_us\": {x_us},\n",
+            "    \"conversations_per_node\": {convs},\n",
+            "    \"buffers\": {buffers},\n",
+            "    \"locality\": \"{locality}\",\n",
+            "    \"scale\": {scale},\n",
+            "    \"duration_ms\": {dur},\n",
+            "    \"clock_modes\": [\"virtual\"],\n",
+            "    \"handoff\": \"{handoff}\"\n",
+            "  }},\n",
+            "  \"runs\": {rows},\n",
+            "  \"live_sweep\": {{\n",
+            "    \"mode\": \"{mode:?}\",\n",
+            "    \"threads\": {threads},\n",
+            "    \"grid_points\": {points},\n",
+            "    \"total_wall_seconds\": {total:.4},\n",
+            "    \"virtual_seconds\": {virt:.4},\n",
+            "    \"run_wall_seconds\": {run_wall:.4},\n",
+            "    \"aggregate_virtual_speedup\": {agg:.1},\n",
+            "    \"handoff_bench\": {bench}\n",
+            "  }}\n",
+            "}}\n",
+        ),
+        nodes = spec.nodes,
+        archs = archs,
+        x_us = x_us,
+        convs = conversations,
+        buffers = buffers,
+        locality = match spec.locality {
+            runtime::Locality::Local => "local",
+            runtime::Locality::NonLocal => "non-local",
+        },
+        scale = spec.scale,
+        dur = spec.duration.as_millis(),
+        handoff = spec.handoff,
+        rows = rows,
+        mode = mode,
+        threads = threads,
+        points = outcome.outcomes.len(),
+        total = total_seconds,
+        virt = outcome.virtual_seconds,
+        run_wall = outcome.run_wall_seconds,
+        agg = outcome.virtual_seconds / outcome.run_wall_seconds.max(1e-9),
+        bench = handoff_bench,
+    )
+}
+
 /// The machine-readable `repro live` report.
 fn live_json(
     base: &runtime::Config,
@@ -381,7 +840,7 @@ fn live_json(
     format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"hsipc-bench-runtime/v2\",\n",
+            "  \"schema\": \"hsipc-bench-runtime/v3\",\n",
             "  \"workload\": {{\n",
             "    \"nodes\": {nodes},\n",
             "    \"conversations_per_node\": {convs},\n",
@@ -392,7 +851,8 @@ fn live_json(
             "    \"duration_ms\": {dur},\n",
             "    \"clock_modes\": {clocks}\n",
             "  }},\n",
-            "  \"runs\": {rows}\n",
+            "  \"runs\": {rows},\n",
+            "  \"live_sweep\": null\n",
             "}}\n",
         ),
         nodes = base.nodes,

@@ -59,3 +59,4 @@ pub use smartmem;
 pub use sweep;
 
 pub mod experiments;
+pub mod livesweep;

@@ -109,6 +109,28 @@ pub fn default_engine() -> &'static AnalysisEngine {
     })
 }
 
+/// Model throughput (conversations/ms) for one live-sweep grid point:
+/// dispatches on locality to the local model ([`local::solve_in`]) or the
+/// §6.6.3 non-local fixed point ([`nonlocal::solve_in`]), analyzing
+/// through `engine` so concurrent sweep workers share one solution cache.
+///
+/// # Errors
+///
+/// [`ModelError`] when the underlying solve fails or the non-local
+/// iteration stalls.
+pub fn live_throughput_in(
+    engine: &AnalysisEngine,
+    arch: Architecture,
+    locality: Locality,
+    n: u32,
+    x_us: f64,
+) -> Result<f64, ModelError> {
+    Ok(match locality {
+        Locality::Local => local::solve_in(engine, arch, n, x_us)?.throughput_per_ms,
+        Locality::NonLocal => nonlocal::solve_in(engine, arch, n, x_us)?.throughput_per_ms,
+    })
+}
+
 /// Analyzes a chapter-6 net through `engine`; the single choke point every
 /// model solve in this crate funnels through.
 pub(crate) fn analyze_in(engine: &AnalysisEngine, net: &gtpn::Net) -> Result<Analysis, ModelError> {

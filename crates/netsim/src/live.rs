@@ -37,6 +37,13 @@ pub struct LiveRing<P> {
     frames: Arc<AtomicU64>,
     bytes: Arc<AtomicU64>,
     busy_ns: Arc<AtomicU64>,
+    /// Frames currently enqueued per inbound channel (incremented on
+    /// transmit, decremented when the port receives).
+    depths: Arc<Vec<AtomicU64>>,
+    /// High-water mark of any single node's inbound queue — the overload
+    /// signature of a buffer-shortage cascade (work arriving faster than
+    /// the node drains it).
+    peak_queued: Arc<AtomicU64>,
 }
 
 impl<P> std::fmt::Debug for LiveRing<P> {
@@ -59,6 +66,8 @@ impl<P> Clone for LiveRing<P> {
             frames: Arc::clone(&self.frames),
             bytes: Arc::clone(&self.bytes),
             busy_ns: Arc::clone(&self.busy_ns),
+            depths: Arc::clone(&self.depths),
+            peak_queued: Arc::clone(&self.peak_queued),
         }
     }
 }
@@ -68,6 +77,7 @@ impl<P> Clone for LiveRing<P> {
 pub struct Port<P> {
     node: RingNodeId,
     rx: Receiver<Frame<P>>,
+    depths: Arc<Vec<AtomicU64>>,
 }
 
 /// Builds a live ring for nodes `0..nodes`, returning the shared transmit
@@ -76,6 +86,7 @@ pub struct Port<P> {
 /// `bit_rate_bps = 0` disables medium serialization (infinite-speed wire);
 /// [`crate::DEFAULT_BIT_RATE`] reproduces the paper's 4 Mb/s ring.
 pub fn live_ring<P>(nodes: u32, bit_rate_bps: u64) -> (LiveRing<P>, Vec<Port<P>>) {
+    let depths: Arc<Vec<AtomicU64>> = Arc::new((0..nodes).map(|_| AtomicU64::new(0)).collect());
     let mut senders = Vec::with_capacity(nodes as usize);
     let mut ports = Vec::with_capacity(nodes as usize);
     for n in 0..nodes {
@@ -84,6 +95,7 @@ pub fn live_ring<P>(nodes: u32, bit_rate_bps: u64) -> (LiveRing<P>, Vec<Port<P>>
         ports.push(Port {
             node: RingNodeId(n),
             rx,
+            depths: Arc::clone(&depths),
         });
     }
     let ring = LiveRing {
@@ -95,6 +107,8 @@ pub fn live_ring<P>(nodes: u32, bit_rate_bps: u64) -> (LiveRing<P>, Vec<Port<P>>
         frames: Arc::new(AtomicU64::new(0)),
         bytes: Arc::new(AtomicU64::new(0)),
         busy_ns: Arc::new(AtomicU64::new(0)),
+        depths,
+        peak_queued: Arc::new(AtomicU64::new(0)),
     };
     (ring, ports)
 }
@@ -158,6 +172,8 @@ impl<P> LiveRing<P> {
             wire_bytes: payload_bytes + self.header_bytes,
             payload,
         });
+        let depth = self.depths[to.0 as usize].fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_queued.fetch_max(depth, Ordering::Relaxed);
         if let Some(notify) = self.notifiers[to.0 as usize].get() {
             notify();
         }
@@ -172,6 +188,14 @@ impl<P> LiveRing<P> {
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
         }
     }
+
+    /// High-water mark of any single node's inbound frame queue since the
+    /// ring was built — how far the slowest receiver fell behind its
+    /// senders at the worst moment (0 on an idle or perfectly drained
+    /// ring). Saturation shows up here before it shows up in latency.
+    pub fn peak_queued(&self) -> u64 {
+        self.peak_queued.load(Ordering::Relaxed)
+    }
 }
 
 impl<P> Port<P> {
@@ -183,7 +207,9 @@ impl<P> Port<P> {
     /// Non-blocking receive: the network-interface poll the MP performs on
     /// each scheduling pass.
     pub fn try_recv(&self) -> Option<Frame<P>> {
-        self.rx.try_recv().ok()
+        let frame = self.rx.try_recv().ok()?;
+        self.depths[self.node.0 as usize].fetch_sub(1, Ordering::Relaxed);
+        Some(frame)
     }
 }
 
@@ -220,6 +246,25 @@ mod tests {
         assert_eq!(hits.load(Ordering::Relaxed), 2);
         // A second install for the same node is ignored, not a panic.
         ring.set_arrival_notifier(RingNodeId(1), || {});
+    }
+
+    #[test]
+    fn peak_queue_depth_tracks_the_deepest_backlog() {
+        let (ring, mut ports) = live_ring::<u32>(2, 0);
+        let p1 = ports.remove(1);
+        assert_eq!(ring.peak_queued(), 0);
+        for i in 0..5 {
+            ring.transmit(RingNodeId(0), RingNodeId(1), 4, i).unwrap();
+        }
+        assert_eq!(ring.peak_queued(), 5);
+        // Draining does not lower the high-water mark…
+        while p1.try_recv().is_some() {}
+        assert_eq!(ring.peak_queued(), 5);
+        // …and a shallower second burst does not raise it.
+        for i in 0..3 {
+            ring.transmit(RingNodeId(0), RingNodeId(1), 4, i).unwrap();
+        }
+        assert_eq!(ring.peak_queued(), 5);
     }
 
     #[test]

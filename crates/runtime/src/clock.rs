@@ -49,8 +49,10 @@
 //! seconds.
 
 use archsim::timings::ActivityKind;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::Thread;
 use std::time::{Duration, Instant};
 
 /// Which time base drives a live run.
@@ -87,6 +89,55 @@ impl std::str::FromStr for ClockMode {
 }
 
 impl std::fmt::Display for ClockMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How the virtual coordinator wakes the actor it grants the execution
+/// token to. Both modes make byte-identical scheduling decisions (the
+/// minimum-`(clock, id)` frontier rule); they differ only in how many OS
+/// threads each token handoff touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Handoff {
+    /// Per-actor parking: a handoff unparks exactly the granted actor's
+    /// thread ([`std::thread::unpark`]), and the ready set is an ordered
+    /// `(clock, id)` index, so the grant itself is `O(log actors)`.
+    #[default]
+    Targeted,
+    /// One shared condvar for every parked actor: each handoff
+    /// `notify_all`s the whole fleet, every parked thread wakes,
+    /// re-acquires the coordinator lock, finds it was not granted, and
+    /// goes back to sleep. The measured baseline the targeted mode is
+    /// benchmarked against — `2 · nodes + 1` wakeups per handoff.
+    Broadcast,
+}
+
+impl Handoff {
+    /// Lower-case label (`targeted` / `broadcast`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Handoff::Targeted => "targeted",
+            Handoff::Broadcast => "broadcast",
+        }
+    }
+}
+
+impl std::str::FromStr for Handoff {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Handoff, String> {
+        match s {
+            "targeted" => Ok(Handoff::Targeted),
+            "broadcast" => Ok(Handoff::Broadcast),
+            other => Err(format!(
+                "unknown handoff mode `{other}` (targeted|broadcast)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Handoff {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
     }
@@ -178,13 +229,21 @@ enum ActorMode {
 struct ActorSlot {
     clock_ns: u64,
     mode: ActorMode,
-    cv: Arc<Condvar>,
+    /// The owning OS thread, captured the first time the actor parks —
+    /// the unpark target of a targeted handoff.
+    thread: Option<Thread>,
 }
 
 #[derive(Debug)]
 struct VState {
     actors: Vec<ActorSlot>,
     bell_epochs: Vec<u64>,
+    /// Actors parked on each bell, in park order — drained by
+    /// [`Bell::ring`] without scanning the whole fleet.
+    bell_waiters: Vec<Vec<usize>>,
+    /// The [`ActorMode::Waiting`] actors ordered by `(clock, id)`: the
+    /// grant is a `pop_first`, not a fleet scan.
+    ready: BTreeSet<(u64, usize)>,
     /// The actor currently holding the execution token, if any.
     executing: Option<usize>,
     /// High-water mark of granted clocks — the ring timestamp used when an
@@ -193,26 +252,49 @@ struct VState {
     /// Set when every live actor is blocked: the frontier can never
     /// advance, so all waits panic instead of hanging.
     poisoned: bool,
+    /// How grants wake the chosen actor.
+    handoff: Handoff,
+    /// Token handoffs that had to wake another thread (the granted actor
+    /// was not the caller) — the denominator of the handoff benchmark.
+    handoffs: u64,
 }
 
 impl VState {
+    /// Moves an actor into [`ActorMode::Waiting`] and indexes it for the
+    /// next grant.
+    fn make_ready(&mut self, id: usize) {
+        self.actors[id].mode = ActorMode::Waiting;
+        self.ready.insert((self.actors[id].clock_ns, id));
+    }
+
     /// Hands the execution token to the minimum-`(clock, id)` runnable
     /// actor, or poisons the clock when only blocked actors remain.
-    fn grant(&mut self) {
+    /// `from` is the calling actor (if any): granting back to the caller
+    /// needs no wakeup at all.
+    fn grant(&mut self, from: Option<usize>, broadcast_cv: &Condvar) {
         debug_assert!(self.executing.is_none(), "grant with a live token");
-        let next = self
-            .actors
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| a.mode == ActorMode::Waiting)
-            .min_by_key(|&(id, a)| (a.clock_ns, id))
-            .map(|(id, _)| id);
-        match next {
-            Some(id) => {
+        match self.ready.pop_first() {
+            Some((clock_ns, id)) => {
+                debug_assert_eq!(self.actors[id].clock_ns, clock_ns, "stale ready entry");
                 self.actors[id].mode = ActorMode::Executing;
                 self.executing = Some(id);
-                self.frontier_ns = self.frontier_ns.max(self.actors[id].clock_ns);
-                self.actors[id].cv.notify_all();
+                self.frontier_ns = self.frontier_ns.max(clock_ns);
+                if from == Some(id) {
+                    return; // caller keeps the token: no wakeup needed.
+                }
+                self.handoffs += 1;
+                match self.handoff {
+                    Handoff::Targeted => {
+                        if let Some(thread) = &self.actors[id].thread {
+                            thread.unpark();
+                        }
+                        // No thread handle: the actor has never parked, so
+                        // it is either not yet spawned (it will observe
+                        // Executing in attach) or between unlock and park
+                        // (it re-checks the mode before parking).
+                    }
+                    Handoff::Broadcast => broadcast_cv.notify_all(),
+                }
             }
             None => {
                 if self
@@ -222,8 +304,11 @@ impl VState {
                 {
                     self.poisoned = true;
                     for a in &self.actors {
-                        a.cv.notify_all();
+                        if let Some(thread) = &a.thread {
+                            thread.unpark();
+                        }
                     }
+                    broadcast_cv.notify_all();
                 }
             }
         }
@@ -238,6 +323,9 @@ enum Inner {
     },
     Virtual {
         state: Mutex<VState>,
+        /// The shared condvar of [`Handoff::Broadcast`]; unused (never
+        /// waited on) under [`Handoff::Targeted`].
+        broadcast_cv: Condvar,
     },
 }
 
@@ -251,8 +339,15 @@ pub struct ClockSystem {
 }
 
 impl ClockSystem {
-    /// A clock system in the requested mode.
+    /// A clock system in the requested mode, with the default
+    /// ([`Handoff::Targeted`]) grant wakeup.
     pub fn new(mode: ClockMode) -> Arc<ClockSystem> {
+        ClockSystem::with_handoff(mode, Handoff::default())
+    }
+
+    /// A clock system with an explicit handoff strategy (virtual mode
+    /// only; real mode has no coordinator and ignores it).
+    pub fn with_handoff(mode: ClockMode, handoff: Handoff) -> Arc<ClockSystem> {
         let inner = match mode {
             ClockMode::Real => Inner::Real {
                 epoch: Instant::now(),
@@ -261,16 +356,39 @@ impl ClockSystem {
                 state: Mutex::new(VState {
                     actors: Vec::new(),
                     bell_epochs: Vec::new(),
+                    bell_waiters: Vec::new(),
+                    ready: BTreeSet::new(),
                     executing: None,
                     frontier_ns: 0,
                     poisoned: false,
+                    handoff,
+                    handoffs: 0,
                 }),
+                broadcast_cv: Condvar::new(),
             },
         };
         Arc::new(ClockSystem {
             inner,
             overshoot: std::array::from_fn(|_| OvershootCell::default()),
         })
+    }
+
+    /// The handoff strategy of the virtual coordinator
+    /// ([`Handoff::Targeted`] in real mode, where it is meaningless).
+    pub fn handoff(&self) -> Handoff {
+        match &self.inner {
+            Inner::Real { .. } => Handoff::Targeted,
+            Inner::Virtual { state, .. } => lock(state).handoff,
+        }
+    }
+
+    /// Cross-thread token handoffs performed so far (0 in real mode) —
+    /// the work count the targeted-vs-broadcast benchmark normalizes by.
+    pub fn handoffs(&self) -> u64 {
+        match &self.inner {
+            Inner::Real { .. } => 0,
+            Inner::Virtual { state, .. } => lock(state).handoffs,
+        }
     }
 
     /// The mode this system runs in.
@@ -291,7 +409,7 @@ impl ClockSystem {
     pub fn register(self: &Arc<Self>) -> ClockHandle {
         let actor = match &self.inner {
             Inner::Real { .. } => 0,
-            Inner::Virtual { state } => {
+            Inner::Virtual { state, .. } => {
                 let mut st = lock(state);
                 let id = st.actors.len();
                 let first = id == 0;
@@ -302,10 +420,12 @@ impl ClockSystem {
                     } else {
                         ActorMode::Waiting
                     },
-                    cv: Arc::new(Condvar::new()),
+                    thread: None,
                 });
                 if first {
                     st.executing = Some(0);
+                } else {
+                    st.ready.insert((0, id));
                 }
                 id
             }
@@ -376,16 +496,9 @@ impl ClockHandle {
     /// execution token (virtual), so that everything the thread does is
     /// serialized into the deterministic order. No-op in real mode.
     pub fn attach(&self) {
-        if let Inner::Virtual { state } = &self.sys.inner {
-            let mut st = lock(state);
-            let cv = Arc::clone(&st.actors[self.actor].cv);
-            while st.actors[self.actor].mode != ActorMode::Executing {
-                if st.poisoned {
-                    drop(st);
-                    deadlock_panic();
-                }
-                st = cv.wait(st).unwrap_or_else(|e| e.into_inner());
-            }
+        if let Inner::Virtual { state, .. } = &self.sys.inner {
+            let st = lock(state);
+            self.wait_for_token(st);
         }
     }
 
@@ -394,7 +507,7 @@ impl ClockHandle {
     pub fn now_ns(&self) -> u64 {
         match &self.sys.inner {
             Inner::Real { epoch } => epoch.elapsed().as_nanos() as u64,
-            Inner::Virtual { state } => lock(state).actors[self.actor].clock_ns,
+            Inner::Virtual { state, .. } => lock(state).actors[self.actor].clock_ns,
         }
     }
 
@@ -437,7 +550,11 @@ impl ClockHandle {
     /// Virtual clock advance: bump own clock, then yield the execution
     /// token if another runnable actor now has a smaller `(clock, id)`.
     fn advance(&self, ns: u64) {
-        let Inner::Virtual { state } = &self.sys.inner else {
+        let Inner::Virtual {
+            state,
+            broadcast_cv,
+        } = &self.sys.inner
+        else {
             unreachable!("advance is virtual-only");
         };
         let mut st = lock(state);
@@ -447,9 +564,9 @@ impl ClockHandle {
             "occupy by an actor that does not hold the execution token"
         );
         st.actors[self.actor].clock_ns += ns;
-        st.actors[self.actor].mode = ActorMode::Waiting;
         st.executing = None;
-        st.grant();
+        st.make_ready(self.actor);
+        st.grant(Some(self.actor), broadcast_cv);
         self.wait_for_token(st);
     }
 
@@ -467,7 +584,13 @@ impl ClockHandle {
                     .wait_timeout_while(guard, timeout, |s| *s == epoch)
                     .expect("bell lock");
             }
-            (Inner::Virtual { state }, BellInner::Virtual { id }) => {
+            (
+                Inner::Virtual {
+                    state,
+                    broadcast_cv,
+                },
+                BellInner::Virtual { id },
+            ) => {
                 let mut st = lock(state);
                 if st.poisoned {
                     drop(st);
@@ -482,8 +605,9 @@ impl ClockHandle {
                     return; // rung since the caller polled: re-poll.
                 }
                 st.actors[self.actor].mode = ActorMode::Blocked(*id);
+                st.bell_waiters[*id].push(self.actor);
                 st.executing = None;
-                st.grant();
+                st.grant(Some(self.actor), broadcast_cv);
                 self.wait_for_token(st);
             }
             _ => panic!("bell and clock handle belong to different clock systems"),
@@ -491,27 +615,68 @@ impl ClockHandle {
     }
 
     /// Parks until this actor is granted the execution token.
-    fn wait_for_token(&self, mut st: MutexGuard<'_, VState>) {
+    ///
+    /// Targeted mode stores the owning OS thread handle (once) and parks on
+    /// it: only a grant *to this actor* (or poisoning) unparks it, so a
+    /// handoff costs one `unpark` instead of a fleet-wide `notify_all`. A
+    /// leftover unpark token from a grant the fast path consumed makes one
+    /// `park` return spuriously; the loop re-checks the mode under the
+    /// lock, so spurious and stale wakes are harmless.
+    fn wait_for_token<'a>(&'a self, mut st: MutexGuard<'a, VState>) {
         if st.actors[self.actor].mode == ActorMode::Executing {
             return; // fast path: still the frontier minimum, no handoff.
         }
-        let cv = Arc::clone(&st.actors[self.actor].cv);
-        loop {
-            if st.poisoned {
-                drop(st);
-                deadlock_panic();
+        if st.poisoned {
+            drop(st);
+            deadlock_panic();
+        }
+        match st.handoff {
+            Handoff::Targeted => {
+                if st.actors[self.actor].thread.is_none() {
+                    st.actors[self.actor].thread = Some(std::thread::current());
+                }
+                let Inner::Virtual { state, .. } = &self.sys.inner else {
+                    unreachable!("wait_for_token is virtual-only");
+                };
+                loop {
+                    drop(st);
+                    std::thread::park();
+                    st = lock(state);
+                    if st.actors[self.actor].mode == ActorMode::Executing {
+                        return;
+                    }
+                    if st.poisoned {
+                        drop(st);
+                        deadlock_panic();
+                    }
+                }
             }
-            if st.actors[self.actor].mode == ActorMode::Executing {
-                return;
+            Handoff::Broadcast => {
+                let Inner::Virtual { broadcast_cv, .. } = &self.sys.inner else {
+                    unreachable!("wait_for_token is virtual-only");
+                };
+                loop {
+                    st = broadcast_cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                    if st.actors[self.actor].mode == ActorMode::Executing {
+                        return;
+                    }
+                    if st.poisoned {
+                        drop(st);
+                        deadlock_panic();
+                    }
+                }
             }
-            st = cv.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Retires the actor: it stops constraining the frontier. Call exactly
     /// once, from the owning thread, as its last clock operation.
     pub fn retire(&self) {
-        if let Inner::Virtual { state } = &self.sys.inner {
+        if let Inner::Virtual {
+            state,
+            broadcast_cv,
+        } = &self.sys.inner
+        {
             let mut st = lock(state);
             debug_assert_eq!(
                 st.executing,
@@ -520,7 +685,7 @@ impl ClockHandle {
             );
             st.actors[self.actor].mode = ActorMode::Gone;
             st.executing = None;
-            st.grant();
+            st.grant(Some(self.actor), broadcast_cv);
         }
     }
 }
@@ -550,9 +715,10 @@ impl Bell {
                 seq: Mutex::new(0),
                 cv: Condvar::new(),
             },
-            Inner::Virtual { state } => {
+            Inner::Virtual { state, .. } => {
                 let mut st = lock(state);
                 st.bell_epochs.push(0);
+                st.bell_waiters.push(Vec::new());
                 BellInner::Virtual {
                     id: st.bell_epochs.len() - 1,
                 }
@@ -572,7 +738,7 @@ impl Bell {
         match &self.inner {
             BellInner::Real { seq, .. } => *seq.lock().expect("bell lock"),
             BellInner::Virtual { id } => {
-                let Inner::Virtual { state } = &self.sys.inner else {
+                let Inner::Virtual { state, .. } = &self.sys.inner else {
                     unreachable!();
                 };
                 lock(state).bell_epochs[*id]
@@ -591,7 +757,11 @@ impl Bell {
                 cv.notify_all();
             }
             BellInner::Virtual { id } => {
-                let Inner::Virtual { state } = &self.sys.inner else {
+                let Inner::Virtual {
+                    state,
+                    broadcast_cv,
+                } = &self.sys.inner
+                else {
                     unreachable!();
                 };
                 let mut st = lock(state);
@@ -600,11 +770,17 @@ impl Bell {
                     Some(actor) => st.actors[actor].clock_ns,
                     None => st.frontier_ns,
                 };
-                for a in st.actors.iter_mut() {
-                    if a.mode == ActorMode::Blocked(*id) {
-                        a.clock_ns = a.clock_ns.max(at);
-                        a.mode = ActorMode::Waiting;
-                    }
+                // Only this bell's waiters, in park order — no fleet scan.
+                let waiters = std::mem::take(&mut st.bell_waiters[*id]);
+                for w in waiters {
+                    debug_assert_eq!(st.actors[w].mode, ActorMode::Blocked(*id));
+                    st.actors[w].clock_ns = st.actors[w].clock_ns.max(at);
+                    st.make_ready(w);
+                }
+                // An external (non-actor) ring during shutdown may arrive
+                // with no token holder; re-grant so the woken waiters run.
+                if st.executing.is_none() && !st.poisoned {
+                    st.grant(None, broadcast_cv);
                 }
             }
         }
@@ -724,6 +900,44 @@ mod tests {
         let log = log.lock().unwrap();
         // a rang at 300 µs; b woke exactly at the ring's virtual time.
         assert_eq!(log.as_slice(), &[("a-ring", 300_000), ("b-woke", 300_000)]);
+    }
+
+    #[test]
+    fn broadcast_handoff_matches_targeted_schedule() {
+        // Both handoff modes implement the same frontier rule; only the
+        // wakeup mechanics differ. The observable schedule — and the
+        // handoff count — must be identical.
+        let run = |handoff: Handoff| {
+            let sys = ClockSystem::with_handoff(ClockMode::Virtual, handoff);
+            let driver = sys.register();
+            let order: Arc<Mutex<Vec<(usize, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let h = sys.register();
+                    let order = Arc::clone(&order);
+                    std::thread::spawn(move || {
+                        h.attach();
+                        for _ in 0..50 {
+                            h.occupy_us(((i * 7) % 5 + 1) as f64, 0);
+                            order.lock().unwrap().push((i, h.now_ns()));
+                        }
+                        h.retire();
+                    })
+                })
+                .collect();
+            driver.sleep(Duration::from_millis(10));
+            driver.retire();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let order = order.lock().unwrap().clone();
+            (order, sys.handoffs())
+        };
+        let (targeted, targeted_handoffs) = run(Handoff::Targeted);
+        let (broadcast, broadcast_handoffs) = run(Handoff::Broadcast);
+        assert_eq!(targeted, broadcast);
+        assert_eq!(targeted_handoffs, broadcast_handoffs);
+        assert!(targeted_handoffs > 0);
     }
 
     #[test]

@@ -6,13 +6,13 @@
 //! the variable name and what was wrong — not a silent fall-back to the
 //! default that makes a sweep quietly measure the wrong workload.
 
-use crate::clock::ClockMode;
+use crate::clock::{ClockMode, Handoff};
 use crate::Config;
 use archsim::timings::Architecture;
 use std::time::Duration;
 
 /// The variables [`LiveEnv`] understands.
-const KNOWN: [&str; 8] = [
+const KNOWN: [&str; 12] = [
     "HSIPC_LIVE_ARCH",
     "HSIPC_LIVE_NODES",
     "HSIPC_LIVE_CONVERSATIONS",
@@ -21,6 +21,10 @@ const KNOWN: [&str; 8] = [
     "HSIPC_LIVE_SERVER_COMPUTE_US",
     "HSIPC_LIVE_BUFFERS",
     "HSIPC_LIVE_CLOCK",
+    "HSIPC_LIVE_HANDOFF",
+    "HSIPC_LIVE_SWEEP_X_LIST",
+    "HSIPC_LIVE_SWEEP_CONVERSATIONS",
+    "HSIPC_LIVE_SWEEP_BUFFERS",
 ];
 
 /// A rejected environment variable: which one, and why.
@@ -69,6 +73,18 @@ pub struct LiveEnv {
     pub buffers: Option<u16>,
     /// `HSIPC_LIVE_CLOCK`: `real` or `virtual`.
     pub clock: Option<ClockMode>,
+    /// `HSIPC_LIVE_HANDOFF`: `targeted` or `broadcast` — how the virtual
+    /// coordinator wakes the granted actor.
+    pub handoff: Option<Handoff>,
+    /// `HSIPC_LIVE_SWEEP_X_LIST`: comma-separated offered-load points
+    /// (server compute X, microseconds) for `repro live-sweep`.
+    pub sweep_x_us: Option<Vec<f64>>,
+    /// `HSIPC_LIVE_SWEEP_CONVERSATIONS`: comma-separated per-node
+    /// conversation counts for `repro live-sweep`.
+    pub sweep_conversations: Option<Vec<u32>>,
+    /// `HSIPC_LIVE_SWEEP_BUFFERS`: comma-separated kernel-buffer counts
+    /// for `repro live-sweep`.
+    pub sweep_buffers: Option<Vec<u16>>,
 }
 
 impl LiveEnv {
@@ -148,6 +164,36 @@ impl LiveEnv {
         if let Some(v) = get("HSIPC_LIVE_CLOCK") {
             env.clock = Some(v.parse().map_err(|m| err("HSIPC_LIVE_CLOCK", m))?);
         }
+        if let Some(v) = get("HSIPC_LIVE_HANDOFF") {
+            env.handoff = Some(v.parse().map_err(|m| err("HSIPC_LIVE_HANDOFF", m))?);
+        }
+        if let Some(v) = get("HSIPC_LIVE_SWEEP_X_LIST") {
+            let xs = parse_list("HSIPC_LIVE_SWEEP_X_LIST", &v, |var, item| {
+                let x: f64 = item
+                    .parse()
+                    .map_err(|_| err(var, format!("not a number: `{item}`")))?;
+                if !(x >= 0.0 && x.is_finite()) {
+                    return Err(err(
+                        var,
+                        format!("must be a non-negative finite number, got `{item}`"),
+                    ));
+                }
+                Ok(x)
+            })?;
+            env.sweep_x_us = Some(xs);
+        }
+        if let Some(v) = get("HSIPC_LIVE_SWEEP_CONVERSATIONS") {
+            env.sweep_conversations = Some(parse_list(
+                "HSIPC_LIVE_SWEEP_CONVERSATIONS",
+                &v,
+                |var, item| parse_min(var, item, 1),
+            )?);
+        }
+        if let Some(v) = get("HSIPC_LIVE_SWEEP_BUFFERS") {
+            env.sweep_buffers = Some(parse_list("HSIPC_LIVE_SWEEP_BUFFERS", &v, |var, item| {
+                parse_min(var, item, 1)
+            })?);
+        }
 
         if let Some((k, _)) = live.iter().find(|(k, _)| !KNOWN.contains(&k.as_str())) {
             return Err(err(
@@ -182,7 +228,27 @@ impl LiveEnv {
         if let Some(v) = self.clock {
             config.clock = v;
         }
+        if let Some(v) = self.handoff {
+            config.handoff = v;
+        }
     }
+}
+
+/// Parses a non-empty comma-separated list, trimming items; `parse_item`
+/// validates each element.
+fn parse_list<T>(
+    var: &str,
+    v: &str,
+    parse_item: impl Fn(&str, &str) -> Result<T, EnvError>,
+) -> Result<Vec<T>, EnvError> {
+    let items: Vec<&str> = v.split(',').map(str::trim).collect();
+    if items.iter().any(|item| item.is_empty()) {
+        return Err(err(
+            var,
+            format!("empty item in comma-separated list: `{v}`"),
+        ));
+    }
+    items.iter().map(|item| parse_item(var, item)).collect()
 }
 
 fn parse_min<T>(var: &str, v: &str, min: T) -> Result<T, EnvError>
@@ -280,6 +346,48 @@ mod tests {
             ("HSIPC_LIVE_BUFFERS", "70000", "not a non-negative integer"),
             ("HSIPC_LIVE_CLOCK", "wall", "unknown clock mode"),
             ("HSIPC_LIVE_ARCH", "V", "unknown architecture"),
+        ] {
+            let e = LiveEnv::from_vars(vars(&[(var, value)])).unwrap_err();
+            assert_eq!(e.var, var, "{var}={value}");
+            assert!(
+                e.message.contains(needle),
+                "{var}={value}: message `{}` lacks `{needle}`",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_lists_and_handoff_parse() {
+        let env = LiveEnv::from_vars(vars(&[
+            ("HSIPC_LIVE_HANDOFF", "broadcast"),
+            ("HSIPC_LIVE_SWEEP_X_LIST", "0, 570,1140, 2850"),
+            ("HSIPC_LIVE_SWEEP_CONVERSATIONS", "4,64"),
+            ("HSIPC_LIVE_SWEEP_BUFFERS", " 1, 32 "),
+        ]))
+        .unwrap();
+        assert_eq!(env.handoff, Some(Handoff::Broadcast));
+        assert_eq!(env.sweep_x_us, Some(vec![0.0, 570.0, 1_140.0, 2_850.0]));
+        assert_eq!(env.sweep_conversations, Some(vec![4, 64]));
+        assert_eq!(env.sweep_buffers, Some(vec![1, 32]));
+        let mut config = Config::new(Architecture::Uniprocessor);
+        env.apply(&mut config);
+        assert_eq!(config.handoff, Handoff::Broadcast);
+    }
+
+    #[test]
+    fn malformed_sweep_lists_error() {
+        for (var, value, needle) in [
+            ("HSIPC_LIVE_HANDOFF", "notify", "unknown handoff mode"),
+            ("HSIPC_LIVE_SWEEP_X_LIST", "570,,1140", "empty item"),
+            ("HSIPC_LIVE_SWEEP_X_LIST", "570,slow", "not a number"),
+            ("HSIPC_LIVE_SWEEP_X_LIST", "-1", "non-negative"),
+            ("HSIPC_LIVE_SWEEP_CONVERSATIONS", "4,0", "at least 1"),
+            (
+                "HSIPC_LIVE_SWEEP_BUFFERS",
+                "32,many",
+                "not a non-negative integer",
+            ),
         ] {
             let e = LiveEnv::from_vars(vars(&[(var, value)])).unwrap_err();
             assert_eq!(e.var, var, "{var}={value}");

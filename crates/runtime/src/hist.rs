@@ -14,6 +14,7 @@
 //! the client hot path of every host thread.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// Sub-bucket resolution: each power of two splits into `2^SUB_BITS`
@@ -53,26 +54,25 @@ fn bucket_bounds(index: usize) -> (f64, f64) {
 }
 
 /// A lock-free histogram of durations.
-#[derive(Debug)]
+///
+/// The ~8 KB bucket array is allocated lazily on the first sample: a sweep
+/// spawning hundreds of per-node histograms pays for the grid only on nodes
+/// that actually record (and an empty histogram is a few words).
+#[derive(Debug, Default)]
 pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
+    buckets: OnceLock<Box<[AtomicU64; BUCKETS]>>,
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
 }
 
-impl Default for Histogram {
-    fn default() -> Histogram {
-        Histogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
-            max_ns: AtomicU64::new(0),
-        }
-    }
-}
-
 impl Histogram {
+    /// The bucket grid, allocated on first use.
+    fn grid(&self) -> &[AtomicU64; BUCKETS] {
+        self.buckets
+            .get_or_init(|| Box::new(std::array::from_fn(|_| AtomicU64::new(0))))
+    }
+
     /// Records one sample.
     pub fn record(&self, sample: Duration) {
         self.record_ns(sample.as_nanos() as u64);
@@ -83,10 +83,38 @@ impl Histogram {
     /// or virtual.
     pub fn record_ns(&self, ns: u64) {
         let ns = ns.max(1);
-        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.grid()[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Adds every sample of `other` into `self`, bucket by bucket.
+    ///
+    /// Because samples are bucketed individually at record time, merging
+    /// per-node histograms and *then* taking quantiles is exactly
+    /// equivalent to having recorded every sample into one shared
+    /// histogram — fleet-wide quantiles carry no rank-interpolation bias
+    /// from the split (unlike averaging per-node quantiles, which is
+    /// biased whenever node distributions differ). Bucket sums commute,
+    /// so any merge order produces identical counts.
+    pub fn merge(&self, other: &Histogram) {
+        let Some(theirs) = other.buckets.get() else {
+            return; // `other` never recorded: nothing to add.
+        };
+        let mine = self.grid();
+        for (mine, theirs) in mine.iter().zip(theirs.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns
+            .fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Number of samples recorded.
@@ -121,10 +149,13 @@ impl Histogram {
         if n == 0 {
             return 0.0;
         }
+        let Some(buckets) = self.buckets.get() else {
+            return 0.0;
+        };
         let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
         let max_ns = self.max_ns.load(Ordering::Relaxed) as f64;
         let mut seen = 0u64;
-        for (index, slot) in self.buckets.iter().enumerate() {
+        for (index, slot) in buckets.iter().enumerate() {
             let c = slot.load(Ordering::Relaxed);
             if c == 0 {
                 continue;
@@ -143,7 +174,10 @@ impl Histogram {
     /// The per-bucket counts with their lower bounds in microseconds, for
     /// printing (only non-empty buckets).
     pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
-        self.buckets
+        let Some(buckets) = self.buckets.get() else {
+            return Vec::new();
+        };
+        buckets
             .iter()
             .enumerate()
             .filter_map(|(index, slot)| {
@@ -215,6 +249,59 @@ mod tests {
         assert!((p50 - 49_000.0).abs() < 49_000.0 * 0.07, "p50 {p50}");
         assert!((p95 - 62_500.0).abs() < 62_500.0 * 0.07, "p95 {p95}");
         assert!(p99 <= h.max_us());
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one_histogram() {
+        // Fleet-wide quantiles: two per-node histograms with *different*
+        // latency regimes (the case where averaging per-node quantiles is
+        // biased), merged, must agree exactly — bucket for bucket and
+        // quantile for quantile — with one histogram that saw everything.
+        let node_a = Histogram::default();
+        let node_b = Histogram::default();
+        let reference = Histogram::default();
+        for i in 0..200u64 {
+            let fast = 10_000 + i * 37; // ~10 µs regime on node A
+            let slow = 34_000_000 + i * 300_000; // ~34 ms regime on node B
+            node_a.record_ns(fast);
+            node_b.record_ns(slow);
+            reference.record_ns(fast);
+            reference.record_ns(slow);
+        }
+        let fleet = Histogram::default();
+        fleet.merge(&node_a);
+        fleet.merge(&node_b);
+        assert_eq!(fleet.count(), reference.count());
+        assert_eq!(fleet.nonzero_buckets(), reference.nonzero_buckets());
+        for q in [0.05, 0.25, 0.50, 0.75, 0.95, 0.99, 1.0] {
+            assert_eq!(fleet.quantile_us(q), reference.quantile_us(q), "q={q}");
+        }
+        assert_eq!(fleet.mean_us(), reference.mean_us());
+        assert_eq!(fleet.max_us(), reference.max_us());
+        // Strict ordering survives the merge: the quantile ladder of the
+        // bimodal fleet distribution is strictly increasing.
+        let (p50, p95, p99) = (
+            fleet.quantile_us(0.50),
+            fleet.quantile_us(0.95),
+            fleet.quantile_us(0.99),
+        );
+        assert!(p50 < p95 && p95 < p99, "p50 {p50}, p95 {p95}, p99 {p99}");
+        // Merge order does not matter (bucket sums commute).
+        let swapped = Histogram::default();
+        swapped.merge(&node_b);
+        swapped.merge(&node_a);
+        assert_eq!(swapped.nonzero_buckets(), fleet.nonzero_buckets());
+    }
+
+    #[test]
+    fn merging_an_empty_histogram_allocates_nothing() {
+        let empty = Histogram::default();
+        let target = Histogram::default();
+        target.merge(&empty);
+        assert_eq!(target.count(), 0);
+        // Neither side allocated its bucket grid.
+        assert!(target.buckets.get().is_none());
+        assert!(empty.buckets.get().is_none());
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod node;
 pub mod shm;
 
 pub use archsim::timings::{Architecture, Locality};
-pub use clock::{ClockMode, OvershootRow};
+pub use clock::{ClockMode, Handoff, OvershootRow};
 pub use env::{EnvError, LiveEnv};
 pub use hist::Histogram;
 
@@ -49,6 +49,13 @@ use shm::{NodeShm, TcbSlot};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Stack size of every actor thread the runtime spawns. The node loops
+/// run a fixed, shallow call graph (kernel transactions, queue ops, the
+/// clock coordinator); 512 KiB is an order of magnitude of headroom while
+/// keeping a 64-node fleet (129 threads) at ~65 MB of reserved stack
+/// instead of the ~1 GB the platform default would claim.
+const ACTOR_STACK: usize = 512 * 1024;
 
 /// Parameters of one live run.
 #[derive(Debug, Clone)]
@@ -82,6 +89,10 @@ pub struct Config {
     /// discrete-event virtual time ([`ClockMode::Virtual`], deterministic
     /// and orders of magnitude faster — see [`clock`]).
     pub clock: ClockMode,
+    /// How the virtual coordinator wakes the actor it grants the execution
+    /// token to ([`Handoff::Targeted`] by default; [`Handoff::Broadcast`]
+    /// is the measured baseline). Ignored under [`ClockMode::Real`].
+    pub handoff: Handoff,
 }
 
 impl Config {
@@ -99,6 +110,7 @@ impl Config {
             buffers: 32,
             grace: Duration::from_secs(10),
             clock: ClockMode::Real,
+            handoff: Handoff::Targeted,
         }
     }
 
@@ -165,6 +177,14 @@ pub struct RunReport {
     pub ring_frames: u64,
     /// Whether every client drained within the grace period.
     pub clean_shutdown: bool,
+    /// Cross-thread execution-token handoffs the virtual coordinator
+    /// performed (0 under [`ClockMode::Real`]) — the work count the
+    /// targeted-vs-broadcast handoff benchmark normalizes by.
+    pub handoffs: u64,
+    /// High-water mark of any single node's inbound ring queue — how far
+    /// the slowest receiver fell behind at the worst moment (0 for local
+    /// traffic, which never touches the ring).
+    pub peak_ring_queue: u64,
     /// Requested-vs-actual occupancy per activity class — the error bars
     /// of a real-time run (empty under [`ClockMode::Virtual`], where
     /// occupancy is exact by construction).
@@ -195,14 +215,18 @@ pub fn run(config: &Config) -> RunReport {
     let (ring, ports) = netsim::live::live_ring::<Packet>(config.nodes, 0);
     let mut ports = ports.into_iter();
 
-    let clock_sys = ClockSystem::new(config.clock);
+    let clock_sys = ClockSystem::with_handoff(config.clock, config.handoff);
     // Actor 0: this thread — the load generator and drain driver. In
     // virtual mode it starts out holding the execution token, so the node
     // actors registered below all park in attach() until the load-phase
     // sleep yields it.
     let main_clock = clock_sys.register();
 
-    let hist = Arc::new(Histogram::default());
+    // One histogram per node, merged into fleet-wide quantiles at report
+    // time: recording never contends across nodes, the bucket grids are
+    // lazily allocated, and the merge is exactly equivalent to one shared
+    // histogram (see [`Histogram::merge`]).
+    let mut hists: Vec<Arc<Histogram>> = Vec::with_capacity(config.nodes as usize);
     let round_trips = Arc::new(AtomicU64::new(0));
     let active = Arc::new(AtomicUsize::new(config.nodes as usize * n));
     let stopping = Arc::new(AtomicBool::new(false));
@@ -307,6 +331,9 @@ pub fn run(config: &Config) -> RunReport {
             host_clock.clone()
         };
 
+        let node_hist = Arc::new(Histogram::default());
+        hists.push(Arc::clone(&node_hist));
+
         let host = HostCtx::new(
             Arc::clone(&shared),
             Arc::clone(&cost),
@@ -316,7 +343,7 @@ pub fn run(config: &Config) -> RunReport {
             targets,
             servers,
             config.server_compute_us * config.scale,
-            Arc::clone(&hist),
+            node_hist,
             Arc::clone(&round_trips),
             Arc::clone(&active),
             Arc::clone(&stopping),
@@ -336,7 +363,10 @@ pub fn run(config: &Config) -> RunReport {
 
     // Phase 2: spawn. Each thread's first statement is attach(), so no
     // node code runs before the deterministic registration above is
-    // complete and the thread holds the execution token.
+    // complete and the thread holds the execution token. Actor threads get
+    // small explicit stacks (the node loops are shallow; the default 8 MB
+    // would reserve gigabytes of address space across a sweep running
+    // eight 32-node fleets at once).
     let mut host_handles = Vec::new();
     let mut kernel_handles: Vec<std::thread::JoinHandle<KernelStats>> = Vec::new();
     for (node, (host, mp)) in bodies.into_iter().enumerate() {
@@ -344,12 +374,14 @@ pub fn run(config: &Config) -> RunReport {
             host_handles.push(
                 std::thread::Builder::new()
                     .name(format!("hsipc-host{node}"))
+                    .stack_size(ACTOR_STACK)
                     .spawn(move || host.run())
                     .expect("spawn host thread"),
             );
             kernel_handles.push(
                 std::thread::Builder::new()
                     .name(format!("hsipc-mp{node}"))
+                    .stack_size(ACTOR_STACK)
                     .spawn(move || mp.run())
                     .expect("spawn MP thread"),
             );
@@ -357,6 +389,7 @@ pub fn run(config: &Config) -> RunReport {
             kernel_handles.push(
                 std::thread::Builder::new()
                     .name(format!("hsipc-node{node}"))
+                    .stack_size(ACTOR_STACK)
                     .spawn(move || node::combined_run(host, mp))
                     .expect("spawn node thread"),
             );
@@ -404,6 +437,10 @@ pub fn run(config: &Config) -> RunReport {
 
     let round_trips = round_trips.load(Ordering::Relaxed);
     let elapsed_ms = elapsed.as_secs_f64() * 1_000.0;
+    let hist = Histogram::default();
+    for node_hist in &hists {
+        hist.merge(node_hist);
+    }
     RunReport {
         architecture: config.architecture,
         nodes: config.nodes,
@@ -428,6 +465,8 @@ pub fn run(config: &Config) -> RunReport {
         buffer_stalls,
         ring_frames: ring.stats().frames,
         clean_shutdown,
+        handoffs: clock_sys.handoffs(),
+        peak_ring_queue: ring.peak_queued(),
         overshoot: clock_sys.overshoot_report(),
     }
 }

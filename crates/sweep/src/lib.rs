@@ -35,6 +35,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
+/// Stack size of each pool worker. Sweep closures run solver iterations
+/// and live-runtime drivers, not deep recursion; 2 MiB is ample while
+/// keeping a wide pool from reserving the platform-default 8 MiB per
+/// thread.
+const WORKER_STACK: usize = 2 * 1024 * 1024;
+
 /// How a sweep is evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
@@ -100,28 +106,36 @@ where
     let (tx, rx) = mpsc::channel::<(usize, O)>();
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
+            .map(|w| {
                 let tx = tx.clone();
                 let next = &next;
                 let f = &f;
-                scope.spawn(move || {
-                    // Occupy one core in the shared budget for this
-                    // worker's lifetime: inner solver parallelism only
-                    // widens onto cores the pool leaves free, and as
-                    // workers drain off the end of the grid their cores
-                    // flow to the remaining (big) solves.
-                    let _core = gtpn::ParallelBudget::global().register();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
+                // Named, stack-capped workers: pool threads run sweep
+                // points, not deep recursion — 2 MiB apiece keeps a wide
+                // pool cheap and makes workers identifiable in thread
+                // listings and panic messages.
+                std::thread::Builder::new()
+                    .name(format!("hsipc-sweep{w}"))
+                    .stack_size(WORKER_STACK)
+                    .spawn_scoped(scope, move || {
+                        // Occupy one core in the shared budget for this
+                        // worker's lifetime: inner solver parallelism only
+                        // widens onto cores the pool leaves free, and as
+                        // workers drain off the end of the grid their cores
+                        // flow to the remaining (big) solves.
+                        let _core = gtpn::ParallelBudget::global().register();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            let out = f(&items[i]);
+                            if tx.send((i, out)).is_err() {
+                                break;
+                            }
                         }
-                        let out = f(&items[i]);
-                        if tx.send((i, out)).is_err() {
-                            break;
-                        }
-                    }
-                })
+                    })
+                    .expect("spawn sweep worker")
             })
             .collect();
         // Re-raise a worker's panic with its original payload so a failing
